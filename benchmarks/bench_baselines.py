@@ -1,0 +1,98 @@
+"""Section 8 quantified: the restoration-scheme trade-off triangle.
+
+Checks the paper's positioning of BCP between the reactive and
+local-detour families:
+
+* local detours: full single-link coverage with the *largest* spare and
+  positive path stretch after recovery,
+* reactive: zero standing overhead but no guarantee (coverage < 100%) and
+  re-establishment-class latency,
+* BCP at mux=3: full single-link coverage at a spare budget *below* the
+  local-detour plan, with activation-class latency.
+"""
+
+from __future__ import annotations
+
+from conftest import FULL_SCALE, run_once
+
+from repro.experiments import run_baseline_comparison
+from repro.experiments.setup import NetworkConfig
+
+
+def test_restoration_scheme_triangle(benchmark):
+    size = 8 if FULL_SCALE else 4
+    config = NetworkConfig(rows=size, cols=size)
+    result = run_once(
+        benchmark, run_baseline_comparison, config,
+        reactive_samples=None if FULL_SCALE else 20,
+    )
+    print()
+    print(result.format())
+
+    bcp = result.scheme("BCP (1 backup, mux=3)")
+    reactive = result.scheme("reactive re-establishment")
+    detour = result.scheme("pre-planned local detours")
+
+    # Guarantees: BCP at mux=3 and local detours both cover all single
+    # link failures; reactive cannot do better.
+    assert bcp.coverage_single_link == 1.0
+    assert detour.coverage_single_link == 1.0
+    assert reactive.coverage_single_link <= 1.0
+
+    # Overhead ordering: reactive (0) < BCP < local detours.
+    assert reactive.spare_fraction == 0.0
+    assert 0.0 < bcp.spare_fraction < detour.spare_fraction
+
+    # Post-recovery stretch: local detours always stretch (>= +1 hop per
+    # patched link); BCP's activated backups stretch less on average.
+    assert detour.mean_stretch >= 1.0
+    assert bcp.mean_stretch < detour.mean_stretch
+
+    # The paper's headline latency argument: re-establishment is an order
+    # of magnitude slower than backup activation.
+    assert reactive.mean_disruption > 10 * bcp.mean_disruption
+
+
+def test_reactive_guarantee_breaks_under_load(benchmark):
+    """The paper's core critique of [BAN93]-style recovery: with no
+    reserved spare, contention in a loaded network makes recovery
+    best-effort.  At ~64% network load (the paper's "fully-loaded"
+    estimate doubles its 33%-load overheads) some disrupted connections
+    find all QoS-feasible paths out of capacity."""
+    from repro import BCPNetwork, FaultToleranceQoS, torus
+    from repro.baselines import ReactiveOutcome, evaluate_reactive
+    from repro.experiments.workloads import all_pairs, establish_workload
+    from repro.faults import all_single_link_failures
+
+    size = 8 if FULL_SCALE else 4
+    network = BCPNetwork(torus(size, size, capacity=100.0))
+    establish_workload(
+        network,
+        all_pairs(network.topology),
+        FaultToleranceQoS(num_backups=0, mux_degree=0),
+    )
+    scenarios = all_single_link_failures(network.topology)
+    if not FULL_SCALE:
+        scenarios = scenarios[:16]
+
+    def sweep():
+        rerouted = failed = no_capacity = 0
+        for scenario in scenarios:
+            outcome = evaluate_reactive(network, scenario)
+            for status in outcome.outcomes.values():
+                if status is ReactiveOutcome.EXCLUDED:
+                    continue
+                failed += 1
+                if status is ReactiveOutcome.REROUTED:
+                    rerouted += 1
+                elif status is ReactiveOutcome.NO_CAPACITY:
+                    no_capacity += 1
+        return rerouted, failed, no_capacity
+
+    rerouted, failed, no_capacity = run_once(benchmark, sweep)
+    coverage = rerouted / failed
+    print(f"\nreactive at {network.network_load():.0%} load: "
+          f"coverage {coverage:.2%}, {no_capacity} blocked by capacity")
+    if FULL_SCALE:
+        assert coverage < 1.0
+        assert no_capacity > 0

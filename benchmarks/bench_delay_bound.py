@@ -1,0 +1,63 @@
+"""Section 5.3: measured recovery delay against the Γ bound.
+
+Runs the protocol simulation for every link of a sample of primaries and
+verifies every measured service disruption is within
+
+    Γ ≤ (K−1)·D_max + 2(b−1)(K−1)·D_max.
+
+Also reproduces the qualitative claim that failures near the source
+recover fastest under Scheme 3.
+"""
+
+from __future__ import annotations
+
+from conftest import FULL_SCALE, run_once
+
+from repro.experiments import run_delay_bound
+from repro.experiments.setup import NetworkConfig
+
+
+def test_delay_within_bound_single_backup(benchmark):
+    config = NetworkConfig(rows=6 if FULL_SCALE else 4,
+                           cols=6 if FULL_SCALE else 4)
+    result = run_once(
+        benchmark, run_delay_bound, config,
+        num_backups=1, sample_connections=8 if FULL_SCALE else 4,
+    )
+    print()
+    print(result.format())
+    assert result.measurements
+    assert result.violations == []
+
+
+def test_delay_within_bound_double_backups(benchmark):
+    config = NetworkConfig(rows=6 if FULL_SCALE else 4,
+                           cols=6 if FULL_SCALE else 4)
+    result = run_once(
+        benchmark, run_delay_bound, config,
+        num_backups=2, sample_connections=8 if FULL_SCALE else 4,
+    )
+    print()
+    print(result.format())
+    assert result.violations == []
+    # The b=2 bound is looser; measurements should sit well inside it.
+    slack = [m.bound - m.measured for m in result.measurements
+             if m.measured is not None]
+    assert min(slack) >= 0
+
+
+def test_failure_near_source_recovers_faster(benchmark):
+    config = NetworkConfig(rows=4, cols=4)
+    result = run_once(benchmark, run_delay_bound, config,
+                      num_backups=1, sample_connections=6)
+    by_connection: dict[int, list] = {}
+    for m in result.measurements:
+        if m.measured is not None:
+            by_connection.setdefault(m.connection_id, []).append(m)
+    checked = 0
+    for measurements in by_connection.values():
+        measurements.sort(key=lambda m: m.failed_link_index)
+        if len(measurements) >= 2:
+            assert measurements[0].measured <= measurements[-1].measured
+            checked += 1
+    assert checked > 0

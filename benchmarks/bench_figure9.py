@@ -1,0 +1,64 @@
+"""Figure 9: average spare-bandwidth reservation vs. network load.
+
+Regenerates the three panels: (a) single backup in the torus, (b) double
+backups in the torus, (c) single backup in the mesh, each with curves for
+mux = 0, 1, 3, 5, 6.
+
+Paper shapes to verify in the printed output:
+* spare grows roughly proportionally to load for every degree,
+* higher mux degrees sit strictly below lower ones,
+* without multiplexing (mux=0) each backup costs more than the primaries
+  ("the network capacity is reduced by more than 50% for each backup"),
+* the mesh multiplexes less effectively than the torus.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_figure9
+from repro.experiments.setup import NetworkConfig
+
+
+def test_figure9a_torus_single_backup(benchmark, torus_config):
+    result = run_once(
+        benchmark, run_figure9, torus_config, num_backups=1, checkpoints=8
+    )
+    print()
+    print(result.format())
+    final = {degree: result.final_spare(degree) for degree in result.curves}
+    # Multiplexing monotonically reduces spare at equal load.
+    degrees = sorted(d for d in final if final[d] is not None)
+    spares = [final[d] for d in degrees]
+    assert spares == sorted(spares, reverse=True)
+
+
+def test_figure9b_torus_double_backups(benchmark, torus_config):
+    result = run_once(
+        benchmark, run_figure9, torus_config, num_backups=2,
+        mux_degrees=(0, 1, 3, 5, 6), checkpoints=8,
+    )
+    print()
+    print(result.format())
+    # The paper: with high degrees the second backup is nearly free —
+    # double-backup spare at mux=6 lands well below single-backup mux=0.
+    single = run_figure9(torus_config, num_backups=1, mux_degrees=(0,),
+                         checkpoints=1)
+    assert result.final_spare(6) < single.final_spare(0)
+
+
+def test_figure9c_mesh_single_backup(benchmark, mesh_config):
+    result = run_once(
+        benchmark, run_figure9, mesh_config, num_backups=1, checkpoints=8
+    )
+    print()
+    print(result.format())
+    # Mesh multiplexing saves less (relatively) than the torus (Sec. 7.1).
+    torus_result = run_figure9(
+        NetworkConfig(topology="torus", rows=mesh_config.rows,
+                      cols=mesh_config.cols),
+        num_backups=1, mux_degrees=(0, 6), checkpoints=1,
+    )
+    mesh_saving = 1 - result.final_spare(6) / result.final_spare(0)
+    torus_saving = 1 - torus_result.final_spare(6) / torus_result.final_spare(0)
+    assert mesh_saving < torus_saving

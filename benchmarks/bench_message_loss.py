@@ -1,0 +1,52 @@
+"""Figure 8: message loss during failure recovery, quantified.
+
+The paper's Fig. 8 shows which data messages a failure costs.  This
+benchmark runs a regulated message stream over connections while failing
+each primary link in turn and checks:
+
+* every lost message was sent inside the failure-to-resumption window
+  (plus the in-flight exposure),
+* losses grow with the failure's distance from the source,
+* delivery is total outside the loss window.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from conftest import FULL_SCALE, run_once
+
+from repro.experiments import run_message_loss
+from repro.experiments.setup import NetworkConfig
+
+
+def test_figure8_message_loss(benchmark):
+    config = NetworkConfig(rows=6 if FULL_SCALE else 4,
+                           cols=6 if FULL_SCALE else 4)
+    result = run_once(
+        benchmark, run_message_loss, config,
+        sample_connections=6 if FULL_SCALE else 3,
+    )
+    print()
+    print(result.format())
+    assert result.measurements
+    by_connection = defaultdict(list)
+    for m in result.measurements:
+        assert m.delivered + m.lost == m.sent
+        if m.service_disruption is not None:
+            budget = result.message_rate * (
+                m.service_disruption + 2 * (m.failed_link_index + 2)
+            ) + 2
+            assert m.lost <= budget, (m, budget)
+        by_connection[m.connection_id].append(m)
+    # Distance-from-source effect: last link's failure costs at least as
+    # many messages as the first link's.
+    monotone_checked = 0
+    for measurements in by_connection.values():
+        measurements.sort(key=lambda m: m.failed_link_index)
+        if len(measurements) >= 2 and all(
+            m.service_disruption is not None for m in measurements
+        ):
+            assert measurements[0].lost <= measurements[-1].lost + 1
+            monotone_checked += 1
+    assert monotone_checked > 0

@@ -1,0 +1,72 @@
+"""Microbenchmarks of the library's hot paths: routing, establishment,
+scenario evaluation, and the protocol event loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BCPNetwork, FaultToleranceQoS, torus
+from repro.experiments.workloads import all_pairs, establish_workload
+from repro.faults import FailureScenario, all_single_node_failures
+from repro.protocol import ProtocolConfig, simulate_scenario
+from repro.recovery import RecoveryEvaluator
+from repro.routing import shortest_path
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    network = BCPNetwork(torus(8, 8, capacity=200.0))
+    establish_workload(
+        network,
+        all_pairs(network.topology),
+        FaultToleranceQoS(num_backups=1, mux_degree=3),
+    )
+    return network
+
+
+def test_shortest_path_speed(benchmark):
+    topology = torus(8, 8)
+    benchmark(shortest_path, topology, 0, 63)
+
+
+def test_establish_connection_speed(benchmark):
+    network = BCPNetwork(torus(8, 8, capacity=1e9))
+    qos = FaultToleranceQoS(num_backups=1, mux_degree=3)
+    pairs = iter(all_pairs(network.topology) * 40)
+
+    def establish():
+        src, dst = next(pairs)
+        network.establish(src, dst, ft_qos=qos)
+
+    benchmark(establish)
+
+
+def test_scenario_evaluation_speed(benchmark, loaded):
+    evaluator = RecoveryEvaluator(loaded)
+    scenarios = all_single_node_failures(loaded.topology)
+    index = [0]
+
+    def evaluate():
+        result = evaluator.evaluate(scenarios[index[0] % len(scenarios)])
+        index[0] += 1
+        return result
+
+    benchmark(evaluate)
+
+
+def test_protocol_simulation_speed(benchmark):
+    network = BCPNetwork(torus(4, 4, capacity=200.0))
+    establish_workload(
+        network,
+        all_pairs(network.topology),
+        FaultToleranceQoS(num_backups=1, mux_degree=3),
+    )
+    victim = next(iter(network.topology.links()))
+    scenario = FailureScenario.of_links([victim])
+
+    def run():
+        return simulate_scenario(network, scenario, ProtocolConfig(),
+                                 horizon=200.0)
+
+    metrics = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert metrics.recovered_count() >= 0

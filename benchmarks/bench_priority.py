@@ -1,0 +1,83 @@
+"""Section 4.3 ablation: the two priority-based activation variants.
+
+Compares three runtime policies under contended spare pools:
+
+* none — first activation to arrive draws the spare,
+* activation delay — low-priority activations wait proportionally to
+  their mux degree (the paper's always-paid wait),
+* preemption — a higher-priority activation evicts an activated
+  lower-priority backup.
+
+Checks the paper's trade-off: both variants protect the high-priority
+connection, the delay variant taxes low-priority recovery always, and
+preemption only taxes it when contention actually occurs.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro import BCPNetwork, FaultToleranceQoS, torus
+from repro.faults import FailureScenario
+from repro.protocol import ProtocolConfig, simulate_scenario
+from repro.util.tables import format_table
+
+
+def build_contended():
+    """Two same-route connections: the backup pool holds one unit."""
+    network = BCPNetwork(torus(4, 4))
+    low = network.establish(
+        0, 2, ft_qos=FaultToleranceQoS(num_backups=1, mux_degree=15)
+    )
+    high = network.establish(
+        0, 2, ft_qos=FaultToleranceQoS(num_backups=1, mux_degree=14)
+    )
+    scenario = FailureScenario.of_links([low.primary.path.links[0]])
+    return network, low, high, scenario
+
+
+def run_variants():
+    network, low, high, scenario = build_contended()
+    variants = {
+        "none": ProtocolConfig(),
+        "activation delay": ProtocolConfig(activation_delay_per_degree=0.5),
+        "preemption": ProtocolConfig(preemption=True),
+    }
+    rows = {}
+    for name, config in variants.items():
+        metrics = simulate_scenario(network, scenario, config)
+        high_rec = metrics.recoveries[high.connection_id]
+        low_rec = metrics.recoveries[low.connection_id]
+        rows[name] = (high_rec, low_rec, metrics.preemptions)
+    return rows
+
+
+def test_priority_activation_variants(benchmark):
+    rows = run_once(benchmark, run_variants)
+    table = [
+        [
+            name,
+            "yes" if high.recovered else "no",
+            "-" if high.service_disruption is None
+            else f"{high.service_disruption:.2f}",
+            "yes" if low.recovered else "no",
+            preemptions,
+        ]
+        for name, (high, low, preemptions) in rows.items()
+    ]
+    print()
+    print(format_table(
+        ["variant", "high-prio recovered", "high-prio Γ",
+         "low-prio recovered", "preemptions"],
+        table,
+        title="Section 4.3: priority-based activation variants",
+    ))
+    # Both priority variants protect the high-priority connection.
+    assert rows["activation delay"][0].recovered
+    assert rows["preemption"][0].recovered
+    assert rows["preemption"][2] >= 1
+    # The delay variant imposes the wait (14 * 0.5) on the high-priority
+    # connection's own activation too — visible as a larger disruption
+    # than under preemption.
+    assert (rows["activation delay"][0].service_disruption
+            > rows["preemption"][0].service_disruption)

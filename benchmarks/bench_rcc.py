@@ -1,0 +1,20 @@
+"""Section 5.2: RCC sizing — bounded control delay iff S_max suffices."""
+
+from __future__ import annotations
+
+from conftest import FULL_SCALE, run_once
+
+from repro.experiments import run_rcc_sizing
+from repro.experiments.setup import NetworkConfig
+
+
+def test_rcc_sizing_rule(benchmark):
+    config = NetworkConfig(rows=6 if FULL_SCALE else 4,
+                           cols=6 if FULL_SCALE else 4)
+    result = run_once(benchmark, run_rcc_sizing, config)
+    print()
+    print(result.format())
+    compliant = result.worst_delay[result.required_messages]
+    undersized = result.worst_delay[2]
+    assert compliant <= result.budget + 1e-9
+    assert undersized > result.budget

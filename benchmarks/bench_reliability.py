@@ -1,0 +1,28 @@
+"""Sections 3.1/3.3: reliability models — Markov vs combinatorial, and
+the achieved P_r dial across backup configurations."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_reliability
+from repro.experiments.setup import NetworkConfig
+
+
+def test_reliability_models(benchmark):
+    result = run_once(
+        benchmark, run_reliability, NetworkConfig(rows=4, cols=4)
+    )
+    print()
+    print(result.format())
+    # First-order agreement between the Fig. 3 CTMC and the combinatorial
+    # client-interface model.
+    for markov, combinatorial in result.model_comparison.values():
+        assert abs(markov - combinatorial) < 1e-4
+    # The dial: at equal backups, smaller degree -> higher worst-case P_r;
+    # an extra backup -> higher P_r.
+    sweep = result.configuration_sweep
+    assert sweep[(1, 1)][0] >= sweep[(1, 6)][0]
+    assert sweep[(2, 6)][0] >= sweep[(1, 6)][0]
+    # And overhead moves the other way.
+    assert sweep[(1, 1)][2] >= sweep[(1, 6)][2]

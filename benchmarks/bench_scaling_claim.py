@@ -1,0 +1,37 @@
+"""Section 6: "backup multiplexing will become more effective in
+large-scale and highly-connected networks" — measured."""
+
+from __future__ import annotations
+
+from conftest import FULL_SCALE, run_once
+
+from repro.experiments.scaling import run_scaling
+
+
+def test_multiplexing_efficiency_vs_scale(benchmark):
+    sizes = (4, 6, 8) if FULL_SCALE else (4, 6)
+    result = run_once(
+        benchmark, run_scaling, mux_degree=5, torus_sizes=sizes,
+        include_connectivity_sweep=FULL_SCALE,
+    )
+    print()
+    print(result.format())
+    points = [result.point(f"{s}x{s} torus") for s in sizes]
+    # "The efficiency of backup multiplexing does not degrade as the
+    # network scales up": the saving stays large at every size and the
+    # multiplexable-pair fraction stays high.  (The stronger prose claim
+    # — MORE effective in larger networks — does not reproduce under the
+    # all-pairs workload: both quantities drift a few points DOWN with
+    # size, because paths lengthen while the α threshold stays fixed and
+    # the per-link backup population grows; see EXPERIMENTS.md.)
+    assert all(p.saving > 0.5 for p in points)
+    fractions = [p.multiplexable_fraction for p in points]
+    assert min(fractions) > 0.7
+    assert max(fractions) - min(fractions) < 0.2
+    if FULL_SCALE:
+        # Connectivity: the degree-5 hypercube multiplexes better than the
+        # under-4-degree mesh at a similar node count and load.
+        cube = result.point("5-cube (degree 5)")
+        grid = result.point("6x6 mesh (degree<4)")
+        assert cube.saving > grid.saving
+        assert cube.multiplexable_fraction > grid.multiplexable_fraction

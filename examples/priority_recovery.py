@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Priority-based backup activation under contention (Section 4.3).
+
+Creates deliberate spare-pool contention — several connections whose
+backups share one under-provisioned pool — and runs the protocol three
+times: with no prioritisation, with the activation-delay variant, and
+with the preemption variant.  Watch who wins the spare, who pays, and
+when.
+
+Run:  python examples/priority_recovery.py
+"""
+
+from repro import BCPNetwork, FaultToleranceQoS, torus
+from repro.faults import FailureScenario
+from repro.protocol import ProtocolConfig, simulate_scenario
+from repro.util.tables import format_table
+
+
+def build_contended_network():
+    """Four connections over the same route; their backups multiplex into
+    a pool holding a single bandwidth unit, so exactly one can activate.
+
+    The low-priority connections are established (and therefore notified)
+    first, so *without* prioritisation the lowest-priority backup wins the
+    race for the pool — exactly the inversion Section 4.3 addresses.
+    """
+    network = BCPNetwork(torus(6, 6, capacity=200.0))
+    degrees = [14, 10, 6, 2]  # low priority first
+    connections = []
+    for degree in degrees:
+        connections.append(network.establish(
+            0, 2, ft_qos=FaultToleranceQoS(num_backups=1, mux_degree=degree)
+        ))
+    pool = network.ledger.spare_reserved(connections[0].backups[0].path.links[0])
+    print(f"shared spare pool on backup links: {pool:g} Mbps for "
+          f"{len(connections)} x 1 Mbps backups")
+    return network, connections
+
+
+def main() -> None:
+    variants = {
+        "no prioritisation": ProtocolConfig(),
+        "activation delay (0.5/degree)": ProtocolConfig(
+            activation_delay_per_degree=0.5
+        ),
+        "preemption": ProtocolConfig(preemption=True),
+    }
+    rows = []
+    for name, config in variants.items():
+        network, connections = build_contended_network()
+        scenario = FailureScenario.of_links(
+            [connections[0].primary.path.links[0]]
+        )
+        metrics = simulate_scenario(network, scenario, config)
+        for connection in connections:
+            record = metrics.recoveries[connection.connection_id]
+            rows.append([
+                name,
+                f"mux={connection.mux_degree}",
+                "recovered" if record.recovered else "mux failure",
+                "-" if record.service_disruption is None
+                else f"{record.service_disruption:.2f}",
+            ])
+        rows.append(["", "", "", ""])
+    print()
+    print(format_table(
+        ["variant", "priority", "outcome", "service disruption"],
+        rows[:-1],
+        title="Who gets the spare? (lower mux degree = higher priority)",
+    ))
+    print("\nReading the table: without prioritisation the pool goes to "
+          "whoever activates first;\nthe delay variant always taxes "
+          "low-priority recovery; preemption taxes it only when\n"
+          "contention actually bites.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Analytic models: Markov reliability (Fig. 3), delay bounds (Section 5),
+and RCC sizing (Section 5.2)."""
+
+from repro.analysis.delay import (
+    connection_delay_bound,
+    recovery_delay_bound,
+    required_rcc_frame_messages,
+)
+from repro.analysis.markov import (
+    DConnectionMarkovModel,
+    simplified_markov_model,
+)
+
+__all__ = [
+    "recovery_delay_bound",
+    "connection_delay_bound",
+    "required_rcc_frame_messages",
+    "DConnectionMarkovModel",
+    "simplified_markov_model",
+]

@@ -1,0 +1,25 @@
+"""Baseline restoration schemes the paper compares against.
+
+* :mod:`repro.baselines.bruteforce` — brute-force multiplexing
+  (Section 7.4): the same amount of spare bandwidth on every link,
+  ignoring network state.
+* :mod:`repro.baselines.reactive` — reactive re-establishment with no
+  standby resources ([BAN93]-style): on failure, try to build a new
+  channel from scratch in the residual network.
+* :mod:`repro.baselines.localdetour` — pre-planned local detours around
+  each link ([ZHE92]-style): failures are patched near the fault without
+  end-node involvement, at the cost of substantial dedicated spare.
+"""
+
+from repro.baselines.bruteforce import brute_force_evaluator, uniform_spare_amount
+from repro.baselines.localdetour import LocalDetourPlan, plan_local_detours
+from repro.baselines.reactive import ReactiveOutcome, evaluate_reactive
+
+__all__ = [
+    "uniform_spare_amount",
+    "brute_force_evaluator",
+    "evaluate_reactive",
+    "ReactiveOutcome",
+    "plan_local_detours",
+    "LocalDetourPlan",
+]

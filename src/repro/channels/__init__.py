@@ -1,0 +1,27 @@
+"""Real-time channel service model (the RNMP/RMTP substrate of Section 2).
+
+A *real-time channel* is a uni-directional virtual circuit with reserved
+bandwidth and a delay QoS.  This package provides the client-facing
+specifications (:class:`TrafficSpec`, :class:`DelayQoS`,
+:class:`FaultToleranceQoS`), the channel objects, the network-wide channel
+registry, and admission control.  The Backup Channel Protocol in
+:mod:`repro.core` is layered on top, mirroring the paper's claim that BCP
+"can be placed on top of any real-time channel protocol".
+"""
+
+from repro.channels.admission import AdmissionController, AdmissionError
+from repro.channels.channel import Channel, ChannelRole
+from repro.channels.qos import DelayQoS, FaultToleranceQoS
+from repro.channels.registry import ChannelRegistry
+from repro.channels.traffic import TrafficSpec
+
+__all__ = [
+    "TrafficSpec",
+    "DelayQoS",
+    "FaultToleranceQoS",
+    "Channel",
+    "ChannelRole",
+    "ChannelRegistry",
+    "AdmissionController",
+    "AdmissionError",
+]

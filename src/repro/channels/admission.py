@@ -1,0 +1,74 @@
+"""Admission control (the RNMP admission test of Section 2).
+
+The admission test of the reproduction checks bandwidth only, matching the
+paper's simplification ("we consider only link bandwidth for simplicity").
+Two kinds of admission happen:
+
+* a *primary* channel needs ``traffic.bandwidth`` of free capacity on every
+  link of its path, and
+* a *backup* channel needs each link of its path to accommodate whatever
+  spare-pool growth the multiplexing engine computes for it (possibly
+  zero) — that check lives in :mod:`repro.core.multiplexing`, which calls
+  back into the ledger.
+
+This module also builds the link predicates the routers use, so routing
+never proposes a path that admission would reject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.channels.traffic import TrafficSpec
+from repro.network.components import LinkId
+from repro.network.reservations import ReservationLedger
+from repro.routing.paths import Path
+from repro.routing.shortest import LinkPredicate
+
+
+class AdmissionError(Exception):
+    """Raised when a channel fails the admission test."""
+
+    def __init__(self, reason: str, link: LinkId | None = None) -> None:
+        super().__init__(reason if link is None else f"{reason} (link {link})")
+        self.reason = reason
+        self.link = link
+
+
+@dataclass
+class AdmissionController:
+    """Bandwidth admission tests over a reservation ledger."""
+
+    ledger: ReservationLedger
+
+    def primary_link_predicate(self, traffic: TrafficSpec) -> LinkPredicate:
+        """Routing predicate: links able to carry a new primary reservation."""
+        bandwidth = traffic.bandwidth
+
+        def admissible(link: LinkId) -> bool:
+            return self.ledger.can_reserve_primary(link, bandwidth)
+
+        return admissible
+
+    def check_primary(self, path: Path, traffic: TrafficSpec) -> None:
+        """Admission test for a primary over ``path``; raises on failure."""
+        for link in path.links:
+            if not self.ledger.can_reserve_primary(link, traffic.bandwidth):
+                raise AdmissionError("insufficient free bandwidth", link)
+
+    def reserve_primary(self, path: Path, traffic: TrafficSpec) -> None:
+        """Reserve primary bandwidth along ``path`` (all-or-nothing)."""
+        reserved: list[LinkId] = []
+        try:
+            for link in path.links:
+                self.ledger.reserve_primary(link, traffic.bandwidth)
+                reserved.append(link)
+        except Exception:
+            for link in reserved:
+                self.ledger.release_primary(link, traffic.bandwidth)
+            raise
+
+    def release_primary(self, path: Path, traffic: TrafficSpec) -> None:
+        """Release primary bandwidth along ``path`` (teardown)."""
+        for link in path.links:
+            self.ledger.release_primary(link, traffic.bandwidth)

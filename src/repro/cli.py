@@ -1,0 +1,240 @@
+"""Command-line interface: regenerate any of the paper's experiments.
+
+Examples::
+
+    python -m repro table1 --topology torus --backups 1
+    python -m repro figure9 --topology mesh --checkpoints 8
+    python -m repro table3 --rows 4 --cols 4 --double-samples 30
+    python -m repro delay-bound
+    python -m repro all --rows 4 --cols 4       # quick full sweep
+
+Every subcommand prints the regenerated table (same rows as the paper)
+to stdout.  The default 8x8 scale takes seconds-to-minutes per table;
+``--rows 4 --cols 4`` gives a fast small-scale pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.experiments import (
+    run_baseline_comparison,
+    run_delay_bound,
+    run_figure9,
+    run_inhomogeneous,
+    run_message_loss,
+    run_rcc_sizing,
+    run_reliability,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.experiments.ablations import run_ablations
+from repro.experiments.scaling import run_scaling
+from repro.experiments.setup import NetworkConfig
+
+
+def _parse_degrees(text: str) -> tuple[int, ...]:
+    try:
+        degrees = tuple(int(part) for part in text.split(",") if part != "")
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"degrees must be comma-separated integers, got {text!r}"
+        ) from None
+    if not degrees:
+        raise argparse.ArgumentTypeError("at least one degree is required")
+    return degrees
+
+
+def _add_network_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--topology", choices=("torus", "mesh"),
+                        default="torus", help="network type (default torus)")
+    parser.add_argument("--rows", type=int, default=8)
+    parser.add_argument("--cols", type=int, default=8)
+    parser.add_argument("--capacity", type=float, default=None,
+                        help="simplex link capacity (defaults per topology)")
+
+
+def _config(args: argparse.Namespace) -> NetworkConfig:
+    return NetworkConfig(
+        topology=args.topology, rows=args.rows, cols=args.cols,
+        capacity=args.capacity,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser with one subcommand per experiment."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the evaluation of Han & Shin (SIGCOMM 1997).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figure9 = subparsers.add_parser(
+        "figure9", help="spare bandwidth vs network load")
+    _add_network_arguments(figure9)
+    figure9.add_argument("--backups", type=int, default=1)
+    figure9.add_argument("--degrees", type=_parse_degrees,
+                         default=(0, 1, 3, 5, 6))
+    figure9.add_argument("--checkpoints", type=int, default=8)
+
+    for name, helptext in (
+        ("table1", "R_fast with uniform multiplexing degrees"),
+        ("table3", "R_fast under brute-force multiplexing"),
+    ):
+        sub = subparsers.add_parser(name, help=helptext)
+        _add_network_arguments(sub)
+        sub.add_argument("--backups", type=int, default=1)
+        sub.add_argument("--degrees", type=_parse_degrees,
+                         default=(1, 3, 5, 6))
+        sub.add_argument("--double-samples", type=int, default=200)
+
+    table2 = subparsers.add_parser(
+        "table2", help="per-connection fault-tolerance control")
+    _add_network_arguments(table2)
+    table2.add_argument("--backups", type=int, default=1)
+    table2.add_argument("--classes", type=_parse_degrees,
+                        default=(1, 3, 5, 6))
+    table2.add_argument("--double-samples", type=int, default=200)
+
+    delay = subparsers.add_parser(
+        "delay-bound", help="measured recovery delay vs the Γ bound")
+    _add_network_arguments(delay)
+    delay.add_argument("--backups", type=int, default=2)
+    delay.add_argument("--connections", type=int, default=6)
+
+    rcc = subparsers.add_parser(
+        "rcc-sizing", help="RCC frame sizing and control-delay bound")
+    _add_network_arguments(rcc)
+
+    reliability = subparsers.add_parser(
+        "reliability", help="Markov vs combinatorial reliability models")
+    _add_network_arguments(reliability)
+
+    inhomogeneous = subparsers.add_parser(
+        "inhomogeneous", help="hotspot/mixed-bandwidth/topology sensitivity")
+    inhomogeneous.add_argument("--rows", type=int, default=8)
+    inhomogeneous.add_argument("--cols", type=int, default=8)
+    inhomogeneous.add_argument("--mux", type=int, default=5)
+
+    loss = subparsers.add_parser(
+        "message-loss", help="data-message loss during recovery (Fig. 8)")
+    _add_network_arguments(loss)
+    loss.add_argument("--rate", type=float, default=2.0)
+    loss.add_argument("--connections", type=int, default=4)
+
+    baselines = subparsers.add_parser(
+        "baselines", help="BCP vs reactive vs local-detour trade-offs")
+    _add_network_arguments(baselines)
+    baselines.add_argument("--mux", type=int, default=3)
+
+    scaling = subparsers.add_parser(
+        "scaling", help="multiplexing efficiency vs network size (§6)")
+    scaling.add_argument("--mux", type=int, default=5)
+    scaling.add_argument("--sizes", type=_parse_degrees, default=(4, 6, 8))
+
+    ablations = subparsers.add_parser(
+        "ablations", help="design-choice ablations (see DESIGN.md)")
+    _add_network_arguments(ablations)
+    ablations.add_argument("--mux", type=int, default=5)
+
+    everything = subparsers.add_parser(
+        "all", help="run every experiment at one scale")
+    _add_network_arguments(everything)
+    everything.add_argument("--double-samples", type=int, default=100)
+
+    report = subparsers.add_parser(
+        "report", help="run the full suite and write a markdown report")
+    _add_network_arguments(report)
+    report.add_argument("--double-samples", type=int, default=100)
+    report.add_argument("--output", default="reproduction-report.md")
+
+    return parser
+
+
+def _run_command(args: argparse.Namespace) -> str:
+    config = _config(args) if hasattr(args, "topology") else None
+    if args.command == "figure9":
+        return run_figure9(config, num_backups=args.backups,
+                           mux_degrees=args.degrees,
+                           checkpoints=args.checkpoints).format()
+    if args.command == "table1":
+        return run_table1(config, num_backups=args.backups,
+                          mux_degrees=args.degrees,
+                          double_node_samples=args.double_samples).format()
+    if args.command == "table2":
+        return run_table2(config, num_backups=args.backups,
+                          classes=args.classes,
+                          double_node_samples=args.double_samples).format()
+    if args.command == "table3":
+        return run_table3(config, num_backups=args.backups,
+                          mux_degrees=args.degrees,
+                          double_node_samples=args.double_samples).format()
+    if args.command == "delay-bound":
+        return run_delay_bound(config, num_backups=args.backups,
+                               sample_connections=args.connections).format()
+    if args.command == "rcc-sizing":
+        return run_rcc_sizing(config).format()
+    if args.command == "reliability":
+        return run_reliability(config).format()
+    if args.command == "inhomogeneous":
+        return run_inhomogeneous(rows=args.rows, cols=args.cols,
+                                 mux_degree=args.mux).format()
+    if args.command == "message-loss":
+        return run_message_loss(config, message_rate=args.rate,
+                                sample_connections=args.connections).format()
+    if args.command == "baselines":
+        return run_baseline_comparison(config,
+                                       bcp_mux_degree=args.mux).format()
+    if args.command == "scaling":
+        return run_scaling(mux_degree=args.mux,
+                           torus_sizes=args.sizes).format()
+    if args.command == "ablations":
+        return run_ablations(config, mux_degree=args.mux).format()
+    if args.command == "report":
+        from repro.experiments.report import generate_report
+
+        result = generate_report(
+            config, double_node_samples=args.double_samples,
+            include_double_backups=(args.topology == "torus"),
+        )
+        target = result.save(args.output)
+        return (
+            f"wrote {target} ({len(result.sections)} sections, "
+            f"{len(result.errors)} failures)"
+        )
+    if args.command == "all":
+        sections = []
+        for backups in (1, 2):
+            if args.topology == "mesh" and backups == 2:
+                continue  # topologically impossible (paper Section 7.1)
+            sections.append(
+                run_table1(config, num_backups=backups,
+                           double_node_samples=args.double_samples).format()
+            )
+        sections.append(
+            run_table2(config,
+                       double_node_samples=args.double_samples).format())
+        sections.append(
+            run_table3(config,
+                       double_node_samples=args.double_samples).format())
+        sections.append(run_figure9(config).format())
+        sections.append(run_delay_bound(config).format())
+        sections.append(run_rcc_sizing(config).format())
+        sections.append(run_reliability(config).format())
+        return "\n\n".join(sections)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    print(_run_command(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,239 @@
+"""The :class:`BCPNetwork` facade — the library's main entry point.
+
+Bundles a topology with the reservation ledger, channel registry,
+multiplexing engine, and establishment engine, and exposes the operations
+of the Backup Channel Protocol at the network-management level:
+establishing and tearing down D-connections, committing a switchover to a
+backup after a failure, and reading the utilization metrics the paper
+reports (network-load and spare-bandwidth fractions).
+
+The *runtime* side of BCP — failure reporting, activation messages, RCC
+transport, rejoin timers — lives in :mod:`repro.protocol` on top of the
+discrete-event kernel; steady-state failure coverage evaluation lives in
+:mod:`repro.recovery`.  Both operate on a ``BCPNetwork``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.channels.channel import Channel
+from repro.channels.qos import DelayQoS, FaultToleranceQoS
+from repro.channels.registry import ChannelRegistry
+from repro.channels.traffic import TrafficSpec
+from repro.core.dconnection import ConnectionState, DConnection
+from repro.core.establishment import (
+    EstablishmentEngine,
+    EstablishmentError,
+    NegotiationOffer,
+    spare_aware_backup_cost,
+)
+from repro.core.multiplexing import MultiplexingEngine
+from repro.core.overlap import OverlapPolicy
+from repro.core.reliability import connection_pr
+from repro.network.components import LinkId, NodeId
+from repro.network.reservations import ReservationLedger
+from repro.network.topology import Topology
+
+__all__ = ["BCPNetwork", "EstablishmentError", "ReconfigurationReport"]
+
+
+@dataclass
+class ReconfigurationReport:
+    """Outcome of the resource reconfiguration after a switchover
+    (Section 4.4).
+
+    Attributes
+    ----------
+    converted:
+        Links where the activated backup's bandwidth moved from the spare
+        pool to the primary pool.
+    deficits:
+        Links whose post-activation spare pool could not be restored to the
+        size the remaining backups require, mapped to the missing
+        bandwidth.  Backups crossing these links have degraded
+        fault-tolerance until they are re-established elsewhere.
+    """
+
+    converted: list[LinkId] = field(default_factory=list)
+    deficits: dict[LinkId, float] = field(default_factory=dict)
+
+    @property
+    def fully_restored(self) -> bool:
+        """Whether every remaining backup kept its full spare coverage."""
+        return not self.deficits
+
+
+class BCPNetwork:
+    """A multi-hop network managed by the Backup Channel Protocol."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        policy: OverlapPolicy | None = None,
+        spare_aware_backup_routing: bool = False,
+    ) -> None:
+        self.topology = topology
+        self.policy = policy or OverlapPolicy()
+        self.ledger = ReservationLedger(topology)
+        self.registry = ChannelRegistry()
+        self.mux = MultiplexingEngine(self.policy)
+        cost_factory = (
+            spare_aware_backup_cost if spare_aware_backup_routing else None
+        )
+        self.engine = EstablishmentEngine(
+            topology, self.ledger, self.registry, self.mux,
+            backup_cost_factory=cost_factory,
+        )
+        self._connections: dict[int, DConnection] = {}
+
+    # ------------------------------------------------------------------
+    # establishment / teardown
+    # ------------------------------------------------------------------
+    def establish(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        traffic: TrafficSpec | None = None,
+        delay_qos: DelayQoS | None = None,
+        ft_qos: FaultToleranceQoS | None = None,
+    ) -> DConnection:
+        """Establish a D-connection; see
+        :meth:`~repro.core.establishment.EstablishmentEngine.establish`."""
+        connection = self.engine.establish(src, dst, traffic, delay_qos, ft_qos)
+        self._connections[connection.connection_id] = connection
+        return connection
+
+    def negotiate(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        required_pr: float,
+        traffic: TrafficSpec | None = None,
+        delay_qos: DelayQoS | None = None,
+        num_backups: int = 1,
+    ) -> NegotiationOffer:
+        """Loose QoS negotiation; the returned offer's connection is live."""
+        offer = self.engine.negotiate_loose(
+            src, dst, required_pr, traffic, delay_qos, num_backups
+        )
+        self._connections[offer.connection.connection_id] = offer.connection
+        return offer
+
+    def teardown(self, connection: "DConnection | int") -> None:
+        """Tear down a connection by object or id."""
+        if isinstance(connection, int):
+            connection = self.connection(connection)
+        self.engine.teardown(connection)
+        self._connections.pop(connection.connection_id, None)
+
+    # ------------------------------------------------------------------
+    # connection access
+    # ------------------------------------------------------------------
+    def connection(self, connection_id: int) -> DConnection:
+        """The live connection with the given id; raises ``KeyError``."""
+        try:
+            return self._connections[connection_id]
+        except KeyError:
+            raise KeyError(f"unknown connection id {connection_id}") from None
+
+    def connections(self) -> list[DConnection]:
+        """All live connections, in establishment order."""
+        return list(self._connections.values())
+
+    @property
+    def num_connections(self) -> int:
+        return len(self._connections)
+
+    def connection_reliability(self, connection: "DConnection | int") -> float:
+        """The resultant ``P_r`` of a live connection (Section 3.3)."""
+        if isinstance(connection, int):
+            connection = self.connection(connection)
+        return connection_pr(connection, self.mux)
+
+    # ------------------------------------------------------------------
+    # switchover (channel switching + resource reconfiguration, Section 4)
+    # ------------------------------------------------------------------
+    def switch_to_backup(
+        self, connection: "DConnection | int", backup: Channel | None = None
+    ) -> ReconfigurationReport:
+        """Promote a backup to primary and reconfigure resources.
+
+        ``backup`` defaults to the lowest-serial backup (the serial-number
+        rule that keeps both end-nodes consistent, Section 4.2).  The old
+        primary's reservations are released (its teardown after failure —
+        in the runtime protocol this happens via rejoin-timer expiry).
+
+        Per Section 4.4, after activation the spare pools are recomputed
+        for the remaining backups; links that cannot re-reserve the full
+        requirement are reported as deficits.
+        """
+        if isinstance(connection, int):
+            connection = self.connection(connection)
+        if not connection.backups:
+            raise EstablishmentError(
+                f"connection {connection.connection_id} has no backups"
+            )
+        if backup is None:
+            backup = connection.backups_in_serial_order()[0]
+
+        report = ReconfigurationReport()
+
+        # 1. The backup stops being multiplexed: remove it from the mux
+        #    state, which shrinks each link's *required* pool.
+        requirements = self.mux.remove_backup(backup)
+
+        # 2. Release the failed primary's dedicated bandwidth.
+        self.engine.admission.release_primary(
+            connection.primary.path, connection.traffic
+        )
+
+        # 3. On each link of the activated path, draw the channel's
+        #    bandwidth out of the spare pool into the primary pool, then
+        #    restore the pool toward the remaining backups' requirement.
+        bandwidth = connection.traffic.bandwidth
+        for link in backup.path.links:
+            entry = self.ledger.ledger(link)
+            draw = min(bandwidth, entry.spare)
+            if draw > 0:
+                self.ledger.convert_spare_to_primary(link, draw)
+            if draw < bandwidth:
+                # The pool was already drained below this backup's need —
+                # the caller should have checked activatability first; we
+                # still honour the switch by taking free capacity.
+                self.ledger.reserve_primary(link, bandwidth - draw)
+            report.converted.append(link)
+
+        # 4. Reconcile every touched link's pool with the new requirement.
+        touched = set(requirements) | set(backup.path.links)
+        for link in touched:
+            required = self.mux.spare_required(link)
+            entry = self.ledger.ledger(link)
+            affordable = min(required, entry.capacity - entry.primary)
+            self.ledger.set_spare(link, affordable)
+            if affordable < required:
+                report.deficits[link] = required - affordable
+
+        # 5. Flip roles in the connection object; the old primary is gone.
+        old_primary = connection.switch_to_backup(backup)
+        self.registry.remove(old_primary.channel_id)
+        return report
+
+    # ------------------------------------------------------------------
+    # metrics (Section 7.1)
+    # ------------------------------------------------------------------
+    def network_load(self) -> float:
+        """Primary bandwidth over total capacity."""
+        return self.ledger.network_load()
+
+    def spare_fraction(self) -> float:
+        """Spare-pool bandwidth over total capacity."""
+        return self.ledger.spare_fraction()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BCPNetwork({self.topology.name!r}, "
+            f"connections={self.num_connections}, "
+            f"load={self.network_load():.1%}, "
+            f"spare={self.spare_fraction():.1%})"
+        )

@@ -1,0 +1,311 @@
+"""Backup multiplexing: per-link spare-pool sizing (Sections 3.2 and 6).
+
+At each link ℓ, the spare pool must be large enough to activate any backup
+``B_i`` together with every *conflicting* backup that would draw from the
+pool before it.  Following Section 3.2:
+
+* ``Π(B_i, ℓ)`` — the backups **not multiplexable** with ``B_i`` — contains
+  every backup ``B_j`` on ℓ with ``ν_j ≤ ν_i`` (the paper's refinement:
+  "we consider only backups with no greater multiplexing degrees") whose
+  simultaneous-activation probability satisfies ``S(B_i, B_j) ≥ ν_i``.
+* the pool is sized ``spare(ℓ) = max_i [ bw(B_i) + Σ_{B_j ∈ Π(B_i,ℓ)} bw(B_j) ]``.
+
+The ``ν_j ≤ ν_i`` filter is sound because activation is priority-ordered
+by multiplexing degree (Section 4.3): when spare is contended, backups
+with smaller ν draw first, so ``B_i`` only needs headroom for conflicting
+backups of equal or higher priority.  This is exactly what makes the
+paper's guarantees hold (mux=1 ⇒ all single failures covered, mux=3 ⇒ all
+single *link* failures covered), and the recovery evaluator activates in
+the same order.
+
+``Ψ(B_i, ℓ)`` — the backups *multiplexed with* ``B_i`` (sharing its spare)
+— feeds the multiplexing-failure bound of Section 3.3.
+
+Complexity (Section 6): adding or removing a backup updates a link in
+O(n) pairwise tests by maintaining each entry's requirement incrementally;
+recomputing from scratch would be O(n²).  Both paths exist (the scratch
+recompute doubles as a validation oracle) and the benchmark
+``bench_scalability`` measures the gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.channels.channel import Channel, ChannelRole
+from repro.core.overlap import OverlapPolicy
+from repro.network.components import LinkId
+from repro.routing.paths import Path
+from repro.util.validation import check_positive
+
+
+@dataclass
+class MuxEntry:
+    """Multiplexing bookkeeping for one backup on one link."""
+
+    channel_id: int
+    bandwidth: float
+    mux_degree: int
+    primary_components: frozenset
+    primary_count: int
+    #: ids of the backups in Π(B_i, ℓ) — non-multiplexable, priority ≤ ours.
+    conflicts: set[int] = field(default_factory=set)
+    #: bw(B_i) + Σ bw over `conflicts`; maintained incrementally.
+    requirement: float = 0.0
+
+
+class LinkMuxState:
+    """Multiplexing state of the backups on one simplex link."""
+
+    def __init__(self, link: LinkId, policy: OverlapPolicy) -> None:
+        self.link = link
+        self.policy = policy
+        self._entries: dict[int, MuxEntry] = {}
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, channel_id: object) -> bool:
+        return channel_id in self._entries
+
+    def entries(self) -> list[MuxEntry]:
+        """All backup entries on this link, in registration order."""
+        return list(self._entries.values())
+
+    def entry(self, channel_id: int) -> MuxEntry:
+        """The entry for one backup; raises ``KeyError`` if absent."""
+        return self._entries[channel_id]
+
+    def spare_required(self) -> float:
+        """The pool size required by the current backup set."""
+        return max(
+            (entry.requirement for entry in self._entries.values()), default=0.0
+        )
+
+    def spare_required_recomputed(self) -> float:
+        """O(n²) from-scratch recomputation — validation oracle for the
+        incremental bookkeeping, and the naive baseline of Section 6."""
+        entries = list(self._entries.values())
+        best = 0.0
+        for entry in entries:
+            requirement = entry.bandwidth
+            for other in entries:
+                if other.channel_id != entry.channel_id and self._in_pi(entry, other):
+                    requirement += other.bandwidth
+            best = max(best, requirement)
+        return best
+
+    def psi_size(self, channel_id: int) -> int:
+        """|Ψ(B_i, ℓ)| — how many backups share spare with ``B_i``
+        (Section 3.3's multiplexing-failure bound input)."""
+        entry = self._entries[channel_id]
+        return sum(
+            1
+            for other in self._entries.values()
+            if other.channel_id != channel_id and self._multiplexable(entry, other)
+        )
+
+    def psi_sizes_for_candidate(
+        self,
+        primary_components: frozenset,
+        primary_count: int,
+        mux_degrees: list[int],
+    ) -> dict[int, int]:
+        """|Ψ| a *new* backup would see on this link, per candidate degree.
+
+        This is the forward-pass computation of the literal negotiation
+        scheme (Section 3.4): the reservation message collects these counts
+        so the destination can pick the largest admissible ν.
+        """
+        sizes = dict.fromkeys(mux_degrees, 0)
+        for other in self._entries.values():
+            shared = len(primary_components & other.primary_components)
+            for degree in mux_degrees:
+                if self.policy.multiplexable_counts(
+                    primary_count, other.primary_count, shared, degree
+                ):
+                    sizes[degree] += 1
+        return sizes
+
+    # ------------------------------------------------------------------
+    # pair tests
+    # ------------------------------------------------------------------
+    def _shared(self, a: MuxEntry, b: MuxEntry) -> int:
+        return len(a.primary_components & b.primary_components)
+
+    def _multiplexable(self, perspective: MuxEntry, other: MuxEntry) -> bool:
+        """Whether ``other`` may share ``perspective``'s spare, judged by
+        ``perspective``'s own threshold ν."""
+        return self.policy.multiplexable_counts(
+            perspective.primary_count,
+            other.primary_count,
+            self._shared(perspective, other),
+            perspective.mux_degree,
+        )
+
+    def _in_pi(self, perspective: MuxEntry, other: MuxEntry) -> bool:
+        """Whether ``other`` belongs to Π(perspective, ℓ)."""
+        return other.mux_degree <= perspective.mux_degree and not self._multiplexable(
+            perspective, other
+        )
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def preview_add(
+        self,
+        bandwidth: float,
+        mux_degree: int,
+        primary_components: frozenset,
+        primary_count: int,
+    ) -> float:
+        """Pool size this link would need if the described backup joined.
+
+        Pure query — used by establishment to test admission before
+        committing, without mutating any state.
+        """
+        check_positive(bandwidth, "bandwidth")
+        candidate = MuxEntry(
+            channel_id=-1,
+            bandwidth=bandwidth,
+            mux_degree=mux_degree,
+            primary_components=primary_components,
+            primary_count=primary_count,
+        )
+        new_requirement = bandwidth
+        best = 0.0
+        for other in self._entries.values():
+            if self._in_pi(candidate, other):
+                new_requirement += other.bandwidth
+            if self._in_pi(other, candidate):
+                best = max(best, other.requirement + bandwidth)
+            else:
+                best = max(best, other.requirement)
+        return max(best, new_requirement)
+
+    def add(
+        self,
+        channel_id: int,
+        bandwidth: float,
+        mux_degree: int,
+        primary_components: frozenset,
+        primary_count: int,
+    ) -> float:
+        """Register a backup; returns the new required pool size.
+
+        O(n) in the number of backups already on the link: one pairwise
+        test per existing entry, updating requirements incrementally.
+        """
+        if channel_id in self._entries:
+            raise ValueError(f"backup {channel_id} already on link {self.link}")
+        check_positive(bandwidth, "bandwidth")
+        entry = MuxEntry(
+            channel_id=channel_id,
+            bandwidth=bandwidth,
+            mux_degree=mux_degree,
+            primary_components=primary_components,
+            primary_count=primary_count,
+        )
+        entry.requirement = bandwidth
+        for other in self._entries.values():
+            if self._in_pi(entry, other):
+                entry.conflicts.add(other.channel_id)
+                entry.requirement += other.bandwidth
+            if self._in_pi(other, entry):
+                other.conflicts.add(channel_id)
+                other.requirement += bandwidth
+        self._entries[channel_id] = entry
+        return self.spare_required()
+
+    def remove(self, channel_id: int) -> float:
+        """Deregister a backup; returns the new required pool size."""
+        entry = self._entries.pop(channel_id, None)
+        if entry is None:
+            raise KeyError(f"backup {channel_id} not on link {self.link}")
+        for other in self._entries.values():
+            if channel_id in other.conflicts:
+                other.conflicts.discard(channel_id)
+                other.requirement -= entry.bandwidth
+        return self.spare_required()
+
+
+class MultiplexingEngine:
+    """Backup-multiplexing state across all links of a network.
+
+    Owns one :class:`LinkMuxState` per link (created lazily), keyed by the
+    channels' paths.  The engine is pure bookkeeping: the establishment
+    machinery is responsible for mirroring pool sizes into the reservation
+    ledger.
+    """
+
+    def __init__(self, policy: OverlapPolicy | None = None) -> None:
+        self.policy = policy or OverlapPolicy()
+        self._links: dict[LinkId, LinkMuxState] = {}
+
+    def link_state(self, link: LinkId) -> LinkMuxState:
+        """The (lazily created) multiplexing state of ``link``."""
+        state = self._links.get(link)
+        if state is None:
+            state = LinkMuxState(link, self.policy)
+            self._links[link] = state
+        return state
+
+    def spare_required(self, link: LinkId) -> float:
+        """Required pool size of ``link`` (0 for untouched links)."""
+        state = self._links.get(link)
+        return state.spare_required() if state else 0.0
+
+    # ------------------------------------------------------------------
+    def _describe(self, backup: Channel, primary: Channel) -> tuple[frozenset, int]:
+        components = self.policy.component_set(primary.path)
+        return components, len(components)
+
+    def preview_backup(
+        self, backup_path: Path, bandwidth: float, mux_degree: int, primary: Channel
+    ) -> dict[LinkId, float]:
+        """Required pool size per link of ``backup_path`` if the backup
+        were added — the establishment admission query."""
+        components = self.policy.component_set(primary.path)
+        count = len(components)
+        return {
+            link: self.link_state(link).preview_add(
+                bandwidth, mux_degree, components, count
+            )
+            for link in backup_path.links
+        }
+
+    def add_backup(self, backup: Channel, primary: Channel) -> dict[LinkId, float]:
+        """Register ``backup`` on every link of its path; returns the new
+        required pool size per link."""
+        if backup.role is not ChannelRole.BACKUP:
+            raise ValueError(f"channel {backup.channel_id} is not a backup")
+        components, count = self._describe(backup, primary)
+        return {
+            link: self.link_state(link).add(
+                backup.channel_id,
+                backup.bandwidth,
+                backup.mux_degree,
+                components,
+                count,
+            )
+            for link in backup.path.links
+        }
+
+    def remove_backup(self, backup: Channel) -> dict[LinkId, float]:
+        """Deregister ``backup`` from every link of its path; returns the
+        new required pool size per link."""
+        return {
+            link: self.link_state(link).remove(backup.channel_id)
+            for link in backup.path.links
+        }
+
+    def psi_sizes(self, backup: Channel) -> dict[LinkId, int]:
+        """|Ψ(B_i, ℓ)| for every link of the backup's path — the inputs of
+        the P_muxf upper bound (Section 3.3)."""
+        return {
+            link: self.link_state(link).psi_size(backup.channel_id)
+            for link in backup.path.links
+        }

@@ -1,0 +1,185 @@
+"""Simultaneous-activation probability and the multiplexability test.
+
+Section 3.2 of the paper: two backups ``B_i`` and ``B_j`` may share spare
+resources on a link iff the probability ``S(B_i, B_j)`` that both are
+activated (near-)simultaneously — bounded by the probability that both
+primaries ``M_i``, ``M_j`` fail in the same time unit — is below the
+multiplexing threshold ``ν``.  With per-component failure probability λ:
+
+    S = 1 - [ (1-λ)^c(M_i) + (1-λ)^c(M_j) - (1-λ)^(c(M_i)+c(M_j)-sc) ]
+
+where ``c(M)`` counts the components of a primary path and ``sc`` counts
+the components shared by both.  For small λ, ``S ≈ sc·λ``, so the paper's
+``mux=α`` configurations (ν = α·λ) reduce to the integer test
+``sc(M_i, M_j) < α``.  Both the exact and the integer form are
+implemented; they agree for realistic λ (tested property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.routing.paths import Path, shared_component_count
+from repro.util.validation import check_probability
+
+#: Default per-component failure probability per time unit.  The paper
+#: quotes component MTBFs around 1000 hours against repair times of
+#: seconds-to-minutes; any small λ gives the same integer behaviour.
+DEFAULT_FAILURE_PROBABILITY = 1e-6
+
+
+def simultaneous_activation_probability(
+    components_i: int, components_j: int, shared: int, failure_probability: float
+) -> float:
+    """Exact ``S(B_i, B_j)`` from the paper's closed form.
+
+    Parameters are the component counts ``c(M_i)``, ``c(M_j)`` of the two
+    primaries, their shared count ``sc``, and the per-component failure
+    probability λ.
+    """
+    if shared < 0 or shared > min(components_i, components_j):
+        raise ValueError(
+            f"shared count {shared} inconsistent with component counts "
+            f"{components_i}, {components_j}"
+        )
+    check_probability(failure_probability, "failure_probability")
+    survive = 1.0 - failure_probability
+    return 1.0 - (
+        survive**components_i
+        + survive**components_j
+        - survive ** (components_i + components_j - shared)
+    )
+
+
+def simultaneous_activation_probability_heterogeneous(
+    nodes_i: int,
+    links_i: int,
+    nodes_j: int,
+    links_j: int,
+    shared_nodes: int,
+    shared_links: int,
+    node_failure_probability: float,
+    link_failure_probability: float,
+) -> float:
+    """``S(B_i, B_j)`` with distinct node and link failure rates.
+
+    The paper's footnote to the S formula: "One can use different failure
+    rates for nodes and links by slightly modifying the equation."  With
+    per-unit survival probabilities ``p_n = 1-λ_n`` and ``p_l = 1-λ_l``:
+
+        P(channel M survives) = p_n^{nodes(M)} · p_l^{links(M)}
+
+    and S keeps its inclusion-exclusion shape with the shared part
+    factored out by component kind.
+    """
+    for name, count in (("nodes_i", nodes_i), ("links_i", links_i),
+                        ("nodes_j", nodes_j), ("links_j", links_j),
+                        ("shared_nodes", shared_nodes),
+                        ("shared_links", shared_links)):
+        if count < 0:
+            raise ValueError(f"{name} must be >= 0, got {count}")
+    if shared_nodes > min(nodes_i, nodes_j) or shared_links > min(
+        links_i, links_j
+    ):
+        raise ValueError("shared counts exceed a channel's component counts")
+    check_probability(node_failure_probability, "node_failure_probability")
+    check_probability(link_failure_probability, "link_failure_probability")
+    p_node = 1.0 - node_failure_probability
+    p_link = 1.0 - link_failure_probability
+    survive_i = p_node**nodes_i * p_link**links_i
+    survive_j = p_node**nodes_j * p_link**links_j
+    survive_union = (
+        p_node ** (nodes_i + nodes_j - shared_nodes)
+        * p_link ** (links_i + links_j - shared_links)
+    )
+    return 1.0 - (survive_i + survive_j - survive_union)
+
+
+@dataclass(frozen=True)
+class OverlapPolicy:
+    """How primary-path overlap is measured and compared against ν.
+
+    Attributes
+    ----------
+    failure_probability:
+        λ, the per-component failure probability per time unit.
+    count_endpoints:
+        Whether endpoint nodes count as components of a primary path.  The
+        paper's formula counts every node; excluding endpoints is a
+        documented variant (endpoint failures make a connection
+        unrecoverable regardless, so some deployments ignore them).
+    exact:
+        ``True`` compares the exact ``S`` against ``α·λ``;
+        ``False`` (default) uses the integer shortcut ``sc < α``, which the
+        paper itself derives and which makes results λ-independent.  The
+        two agree except exactly at the boundary ``sc == α``, where
+        ``S = sc·λ - D·λ² + O(λ³)`` with
+        ``D = C(c_i,2) + C(c_j,2) - C(c_i+c_j-sc,2)`` and the sign of D
+        (hence the exact verdict) depends on the primaries' lengths.
+    """
+
+    failure_probability: float = DEFAULT_FAILURE_PROBABILITY
+    count_endpoints: bool = True
+    exact: bool = False
+
+    def __post_init__(self) -> None:
+        check_probability(self.failure_probability, "failure_probability")
+
+    # ------------------------------------------------------------------
+    def component_count(self, primary_path: Path) -> int:
+        """``c(M)`` under this policy."""
+        return primary_path.component_count(self.count_endpoints)
+
+    def component_set(self, primary_path: Path) -> frozenset:
+        """The component set of a primary under this policy (cached on the
+        path object)."""
+        if self.count_endpoints:
+            return primary_path.components
+        return primary_path.transit_components
+
+    def shared_count(self, primary_i: Path, primary_j: Path) -> int:
+        """``sc(M_i, M_j)`` under this policy."""
+        return shared_component_count(primary_i, primary_j, self.count_endpoints)
+
+    # ------------------------------------------------------------------
+    def activation_probability(self, primary_i: Path, primary_j: Path) -> float:
+        """Exact ``S`` for two primary paths."""
+        return simultaneous_activation_probability(
+            self.component_count(primary_i),
+            self.component_count(primary_j),
+            self.shared_count(primary_i, primary_j),
+            self.failure_probability,
+        )
+
+    def nu(self, mux_degree: int) -> float:
+        """The threshold ν = α·λ for an integer mux degree α."""
+        if mux_degree < 0:
+            raise ValueError(f"mux_degree must be >= 0, got {mux_degree}")
+        return mux_degree * self.failure_probability
+
+    def multiplexable_counts(
+        self, components_i: int, components_j: int, shared: int, mux_degree: int
+    ) -> bool:
+        """Multiplexability test from pre-computed counts.
+
+        The hot path of the multiplexing engine: entries cache their
+        component sets, so only ``shared`` varies per pair.
+        """
+        if mux_degree <= 0:
+            return False
+        if not self.exact:
+            return shared < mux_degree
+        s = simultaneous_activation_probability(
+            components_i, components_j, shared, self.failure_probability
+        )
+        return s < self.nu(mux_degree)
+
+    def multiplexable(self, primary_i: Path, primary_j: Path, mux_degree: int) -> bool:
+        """Whether backups of these primaries may share spare resources
+        under threshold ν = ``mux_degree``·λ."""
+        return self.multiplexable_counts(
+            self.component_count(primary_i),
+            self.component_count(primary_j),
+            self.shared_count(primary_i, primary_j),
+            mux_degree,
+        )

@@ -1,0 +1,21 @@
+"""Data-plane simulation: real-time message streams over channels.
+
+The paper's RMTP layer (Section 2) regulates and schedules the client's
+actual data messages; Fig. 8 illustrates what happens to them during
+failure recovery — messages in flight on the failed segment, plus those
+sent before the source learns of the failure, are lost; transfer resumes
+over the backup as soon as the source dispatches the activation message.
+
+This package reproduces that behaviour quantitatively: a
+:class:`~repro.datapath.regulator.TrafficRegulator` shapes the client's
+(possibly bursty) arrivals, and a :class:`~repro.datapath.stream.DataStream`
+injects the regulated messages into a running
+:class:`~repro.protocol.runtime.ProtocolSimulation`, forwarding each one
+hop by hop along whichever channel currently carries the connection and
+recording delivery and loss.
+"""
+
+from repro.datapath.regulator import TrafficRegulator
+from repro.datapath.stream import DataStream, StreamReport
+
+__all__ = ["TrafficRegulator", "DataStream", "StreamReport"]

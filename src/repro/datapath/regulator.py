@@ -1,0 +1,69 @@
+"""Leaky-bucket traffic regulation (the RMTP "traffic regulator" of
+Section 2: "a traffic regulator is used to smooth (oftentimes bursty)
+packet arrivals").
+
+The regulator admits a message immediately when a token is available and
+otherwise computes the time at which the message becomes *eligible* —
+the same eligibility notion the RCC transmitter uses.  Tokens accrue at
+``rate`` per time unit up to ``depth``.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_non_negative, check_positive
+
+
+class TrafficRegulator:
+    """A leaky-bucket (token-bucket) regulator.
+
+    Parameters
+    ----------
+    rate:
+        Sustained message rate (messages per time unit).
+    depth:
+        Bucket depth — the largest admissible burst.
+    """
+
+    def __init__(self, rate: float, depth: float = 1.0) -> None:
+        check_positive(rate, "rate")
+        check_positive(depth, "depth")
+        self.rate = rate
+        self.depth = depth
+        self._tokens = depth
+        self._last_update = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now < self._last_update:
+            raise ValueError(
+                f"time went backwards: {now} < {self._last_update}"
+            )
+        self._tokens = min(
+            self.depth, self._tokens + (now - self._last_update) * self.rate
+        )
+        self._last_update = now
+
+    def tokens_at(self, now: float) -> float:
+        """Tokens available at time ``now`` (read-only preview)."""
+        elapsed = max(0.0, now - self._last_update)
+        return min(self.depth, self._tokens + elapsed * self.rate)
+
+    def eligible_at(self, now: float) -> float:
+        """Earliest time a message arriving at ``now`` may be sent.
+
+        Does not consume the token; call :meth:`consume` at the eligible
+        time.
+        """
+        check_non_negative(now, "now")
+        available = self.tokens_at(now)
+        if available >= 1.0:
+            return now
+        return now + (1.0 - available) / self.rate
+
+    def consume(self, now: float) -> None:
+        """Spend one token at time ``now``; the message must be eligible."""
+        self._refill(now)
+        if self._tokens < 1.0 - 1e-9:
+            raise ValueError(
+                f"message not eligible at {now}: {self._tokens:.3f} tokens"
+            )
+        self._tokens -= 1.0

@@ -1,0 +1,90 @@
+"""Shared experiment setup: the paper's network configurations and
+failure models (Section 7).
+
+The torus gets 200 Mbps simplex links and the mesh 300 Mbps so their total
+capacities are comparable; channels need 1 Mbps per link; the delay QoS is
+shortest+2 hops.  Experiments default to the paper's 8x8 scale but accept
+smaller dimensions for fast tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.channels.qos import FaultToleranceQoS
+from repro.core.bcp import BCPNetwork
+from repro.core.overlap import OverlapPolicy
+from repro.experiments.workloads import (
+    WorkloadReport,
+    all_pairs,
+    establish_workload,
+    uniform_traffic,
+)
+from repro.faults.enumerate import (
+    all_single_link_failures,
+    all_single_node_failures,
+    sample_double_node_failures,
+)
+from repro.faults.models import FailureScenario
+from repro.network.generators import mesh, torus
+from repro.network.topology import Topology
+
+#: Failure-model labels exactly as the paper's table rows.
+FAILURE_MODELS = ("1 link failure", "1 node failure", "2 node failures")
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """One evaluated network configuration."""
+
+    topology: str = "torus"  # "torus" | "mesh"
+    rows: int = 8
+    cols: int = 8
+    capacity: "float | None" = None  # paper defaults per topology
+
+    def build(self) -> Topology:
+        """Instantiate the configured topology."""
+        if self.topology == "torus":
+            return torus(self.rows, self.cols, self.capacity or 200.0)
+        if self.topology == "mesh":
+            return mesh(self.rows, self.cols, self.capacity or 300.0)
+        raise ValueError(f"unknown topology {self.topology!r}")
+
+    @property
+    def label(self) -> str:
+        return f"{self.rows}x{self.cols} {self.topology}"
+
+
+def load_network(
+    config: NetworkConfig,
+    ft_qos: "FaultToleranceQoS | Callable[[int], FaultToleranceQoS]",
+    policy: "OverlapPolicy | None" = None,
+    checkpoint_every: "int | None" = None,
+) -> tuple[BCPNetwork, WorkloadReport]:
+    """Build the configured topology and drive the all-pairs workload."""
+    network = BCPNetwork(config.build(), policy=policy)
+    report = establish_workload(
+        network,
+        all_pairs(network.topology),
+        ft_qos,
+        traffic=uniform_traffic(1.0),
+        checkpoint_every=checkpoint_every,
+    )
+    return network, report
+
+
+def standard_failure_models(
+    topology: Topology,
+    double_node_samples: int = 200,
+    seed: "int | None" = 0,
+) -> dict[str, list[FailureScenario]]:
+    """The paper's three failure models (Section 7.2): exhaustive single
+    link and single node, sampled double node."""
+    return {
+        "1 link failure": all_single_link_failures(topology),
+        "1 node failure": all_single_node_failures(topology),
+        "2 node failures": sample_double_node_failures(
+            topology, double_node_samples, seed
+        ),
+    }

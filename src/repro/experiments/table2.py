@@ -1,0 +1,133 @@
+"""Table 2: per-connection fault-tolerance control with mixed degrees.
+
+A quarter of the connections use each of mux = 1, 3, 5, 6 (assigned round-
+robin by establishment index), all with the same number of backups.  The
+spare bandwidth is a single figure for the whole network; R_fast is broken
+down per class, demonstrating that "the fault-tolerance level of each
+class of D-connections can be readily controlled" (Section 7.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.channels.qos import FaultToleranceQoS
+from repro.core.bcp import BCPNetwork
+from repro.experiments.setup import (
+    FAILURE_MODELS,
+    NetworkConfig,
+    load_network,
+    standard_failure_models,
+)
+from repro.faults.models import FailureScenario
+from repro.recovery.evaluator import ActivationOrder, RecoveryEvaluator
+from repro.recovery.grouping import by_mux_degree, evaluate_grouped
+from repro.recovery.metrics import RecoveryStats
+from repro.util.tables import format_percent, format_table
+
+PAPER_MIX = (1, 3, 5, 6)
+
+#: Paper-reported values (panel -> row -> class degree -> fraction).
+PAPER_TABLE2 = {
+    ("torus", 1): {
+        "Spare bandwidth": 0.1243,
+        "1 link failure": {1: 1.0, 3: 1.0, 5: 0.9348, 6: 0.5043},
+        "1 node failure": {1: 1.0, 3: 0.9964, 5: 0.6992, 6: 0.4414},
+        "2 node failures": {1: 0.9311, 3: 0.9241, 5: 0.6588, 6: 0.3929},
+    },
+    ("torus", 2): {
+        "Spare bandwidth": 0.1688,
+        "1 link failure": {1: 1.0, 3: 1.0, 5: 1.0, 6: 1.0},
+        "1 node failure": {1: 1.0, 3: 1.0, 5: 1.0, 6: 1.0},
+        "2 node failures": {1: 1.0, 3: 1.0, 5: 0.9945, 6: 0.9367},
+    },
+    ("mesh", 1): {
+        "Spare bandwidth": 0.1741,
+        "1 link failure": {1: 1.0, 3: 1.0, 5: 0.9729, 6: 0.68},
+        "1 node failure": {1: 1.0, 3: 0.9961, 5: 0.8815, 6: 0.5218},
+        "2 node failures": {1: 0.8946, 3: 0.8904, 5: 0.7855, 6: 0.4747},
+    },
+}
+
+
+def evaluate_by_class(
+    network: BCPNetwork,
+    evaluator: RecoveryEvaluator,
+    scenarios: list[FailureScenario],
+) -> dict[int, RecoveryStats]:
+    """Aggregate recovery stats per multiplexing-degree class (thin alias
+    over the general :func:`repro.recovery.grouping.evaluate_grouped`)."""
+    return evaluate_grouped(network, evaluator, scenarios, key=by_mux_degree)
+
+
+@dataclass
+class Table2Result:
+    """One panel of Table 2."""
+
+    config: NetworkConfig
+    num_backups: int
+    classes: tuple[int, ...]
+    spare: "float | None" = None
+    complete: bool = True
+    rejected: int = 0
+    #: failure model -> class degree -> R_fast.
+    r_fast: dict[str, dict[int, "float | None"]] = field(default_factory=dict)
+
+    def format(self) -> str:
+        """Render the panel in the paper's row layout."""
+        headers = ["row"] + [f"mux={degree}" for degree in self.classes]
+        rows: list[list[object]] = [
+            ["Spare bandwidth", format_percent(self.spare)]
+            + [""] * (len(self.classes) - 1)
+        ]
+        for model, values in self.r_fast.items():
+            rows.append(
+                [model]
+                + [format_percent(values.get(d)) for d in self.classes]
+            )
+        title = (
+            f"Table 2: R_fast, mixed mux ({'/'.join(map(str, self.classes))}) "
+            f"— {self.config.label}, {self.num_backups} backup(s)"
+        )
+        return format_table(headers, rows, title=title)
+
+    def paper_reference(self) -> "dict | None":
+        """The paper's values for this panel at 8x8 scale, if any."""
+        return PAPER_TABLE2.get((self.config.topology, self.num_backups))
+
+
+def run_table2(
+    config: "NetworkConfig | None" = None,
+    num_backups: int = 1,
+    classes: tuple[int, ...] = PAPER_MIX,
+    double_node_samples: int = 200,
+    order: ActivationOrder = ActivationOrder.PRIORITY,
+    seed: "int | None" = 0,
+) -> Table2Result:
+    """Regenerate one Table 2 panel."""
+    config = config or NetworkConfig()
+    result = Table2Result(
+        config=config, num_backups=num_backups, classes=tuple(classes)
+    )
+
+    def qos_for(index: int) -> FaultToleranceQoS:
+        return FaultToleranceQoS(
+            num_backups=num_backups, mux_degree=classes[index % len(classes)]
+        )
+
+    network, report = load_network(config, qos_for)
+    result.complete = report.essentially_complete
+    result.rejected = report.rejected
+    result.spare = (
+        network.spare_fraction() if report.essentially_complete else None
+    )
+    evaluator = RecoveryEvaluator(network, order=order, seed=seed)
+    models = standard_failure_models(network.topology, double_node_samples, seed)
+    for model in FAILURE_MODELS:
+        scenarios = models[model]
+        per_class = evaluate_by_class(network, evaluator, scenarios)
+        result.r_fast[model] = {
+            degree: (per_class[degree].r_fast if degree in per_class else None)
+            for degree in classes
+        }
+    return result

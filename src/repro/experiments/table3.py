@@ -1,0 +1,110 @@
+"""Table 3: R_fast with brute-force multiplexing (Section 7.4).
+
+The proposed scheme's workload and backup routing are kept; only the
+spare placement changes — every link gets the *same* amount, equal to the
+proposed scheme's average.  The paper's finding: near-parity on the
+homogeneous torus, clear loss on the mesh (and under any inhomogeneity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.bruteforce import brute_force_evaluator, uniform_spare_amount
+from repro.channels.qos import FaultToleranceQoS
+from repro.experiments.setup import (
+    FAILURE_MODELS,
+    NetworkConfig,
+    load_network,
+    standard_failure_models,
+)
+from repro.recovery.evaluator import ActivationOrder
+from repro.util.tables import format_percent, format_table
+
+PAPER_DEGREES = (1, 3, 5, 6)
+
+#: Paper values (topology -> row -> mux degree -> fraction).
+PAPER_TABLE3 = {
+    "torus": {
+        "Spare bandwidth": {1: 0.3025, 3: 0.225, 5: 0.16, 6: 0.095},
+        "1 link failure": {1: 1.0, 3: 0.9805, 5: 0.9219, 6: 0.7631},
+        "1 node failure": {1: 1.0, 3: 0.9534, 5: 0.8798, 6: 0.6887},
+        "2 node failures": {1: 0.9311, 3: 0.8982, 5: 0.8223, 6: 0.6353},
+    },
+    "mesh": {
+        "Spare bandwidth": {1: 0.3311, 3: 0.2447, 5: 0.1969, 6: 0.1722},
+        "1 link failure": {1: 0.9618, 3: 0.8974, 5: 0.8318, 6: 0.7818},
+        "1 node failure": {1: 0.9503, 3: 0.8719, 5: 0.7949, 6: 0.7303},
+        "2 node failures": {1: 0.8678, 3: 0.7962, 5: 0.7188, 6: 0.6603},
+    },
+}
+
+
+@dataclass
+class Table3Result:
+    """One panel of Table 3."""
+
+    config: NetworkConfig
+    num_backups: int
+    mux_degrees: tuple[int, ...]
+    #: The (uniformised) spare fraction per degree — by construction equal
+    #: to the proposed scheme's average, so the paper reuses Table 1's row.
+    spare: dict[int, "float | None"] = field(default_factory=dict)
+    uniform_per_link: dict[int, float] = field(default_factory=dict)
+    r_fast: dict[str, dict[int, "float | None"]] = field(default_factory=dict)
+
+    def format(self) -> str:
+        """Render the panel in the paper's row layout."""
+        headers = ["row"] + [f"mux={degree}" for degree in self.mux_degrees]
+        rows: list[list[object]] = [
+            ["Spare bandwidth"]
+            + [format_percent(self.spare.get(d)) for d in self.mux_degrees]
+        ]
+        for model, values in self.r_fast.items():
+            rows.append(
+                [model]
+                + [format_percent(values.get(d)) for d in self.mux_degrees]
+            )
+        title = (
+            f"Table 3: R_fast, brute-force multiplexing — {self.config.label}"
+        )
+        return format_table(headers, rows, title=title)
+
+    def paper_reference(self) -> "dict | None":
+        """The paper's values for this panel at 8x8 scale, if any."""
+        return PAPER_TABLE3.get(self.config.topology)
+
+
+def run_table3(
+    config: "NetworkConfig | None" = None,
+    num_backups: int = 1,
+    mux_degrees: tuple[int, ...] = PAPER_DEGREES,
+    double_node_samples: int = 200,
+    order: ActivationOrder = ActivationOrder.PRIORITY,
+    seed: "int | None" = 0,
+) -> Table3Result:
+    """Regenerate one Table 3 panel."""
+    config = config or NetworkConfig()
+    result = Table3Result(
+        config=config, num_backups=num_backups, mux_degrees=tuple(mux_degrees)
+    )
+    for model in FAILURE_MODELS:
+        result.r_fast[model] = {}
+    for degree in mux_degrees:
+        qos = FaultToleranceQoS(num_backups=num_backups, mux_degree=degree)
+        network, report = load_network(config, qos)
+        if not report.essentially_complete:
+            result.spare[degree] = None
+            for model in FAILURE_MODELS:
+                result.r_fast[model][degree] = None
+            continue
+        result.spare[degree] = network.spare_fraction()
+        result.uniform_per_link[degree] = uniform_spare_amount(network)
+        evaluator = brute_force_evaluator(network, order=order, seed=seed)
+        models = standard_failure_models(
+            network.topology, double_node_samples, seed
+        )
+        for model, scenarios in models.items():
+            stats = evaluator.evaluate_many(scenarios)
+            result.r_fast[model][degree] = stats.r_fast
+    return result

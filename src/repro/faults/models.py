@@ -1,0 +1,62 @@
+"""Failure scenarios.
+
+A :class:`FailureScenario` is a set of crashed nodes and simplex links.  A
+crashed node implicitly disables every link incident to it ("a link can
+crash by losing all messages transmitted over it" — and a crashed node
+transmits nothing), which :meth:`FailureScenario.components` expands
+against a topology.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.network.components import LinkId, NodeId
+from repro.network.topology import Topology
+
+
+@dataclass(frozen=True)
+class FailureScenario:
+    """A set of simultaneously crashed components."""
+
+    failed_nodes: frozenset = field(default_factory=frozenset)
+    failed_links: frozenset = field(default_factory=frozenset)
+    name: str = ""
+
+    @staticmethod
+    def of_links(links: Iterable[LinkId], name: str = "") -> "FailureScenario":
+        links = frozenset(links)
+        label = name or "link " + "+".join(sorted(str(link) for link in links))
+        return FailureScenario(failed_links=links, name=label)
+
+    @staticmethod
+    def of_nodes(nodes: Iterable[NodeId], name: str = "") -> "FailureScenario":
+        nodes = frozenset(nodes)
+        label = name or "node " + "+".join(sorted(str(node) for node in nodes))
+        return FailureScenario(failed_nodes=nodes, name=label)
+
+    # ------------------------------------------------------------------
+    def components(self, topology: Topology) -> frozenset:
+        """All failed components: the named nodes and links, plus every
+        link incident to a failed node."""
+        components: set = set(self.failed_nodes) | set(self.failed_links)
+        for node in self.failed_nodes:
+            components.update(topology.incident_links(node))
+        return frozenset(components)
+
+    def hits_endpoint(self, source: NodeId, destination: NodeId) -> bool:
+        """Whether this scenario crashes either end-node of a connection.
+
+        Such connections are unrecoverable by any protocol and the paper
+        excludes them from R_fast (Section 7.2).
+        """
+        return source in self.failed_nodes or destination in self.failed_nodes
+
+    @property
+    def size(self) -> int:
+        """Number of explicitly failed components."""
+        return len(self.failed_nodes) + len(self.failed_links)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name or repr(self)

@@ -1,0 +1,53 @@
+"""Network substrate: topologies, components, and reservation ledgers.
+
+This package models the physical multi-hop network of the paper: nodes
+joined by pairs of *simplex* (uni-directional) links, each link with a
+fixed bandwidth capacity.  Topologies are static; runtime health and
+bandwidth bookkeeping live in :class:`~repro.network.reservations.ReservationLedger`
+and in the fault-injection layer.
+"""
+
+from repro.network.components import LinkId, NodeId, link_between
+from repro.network.generators import (
+    complete_graph,
+    hypercube,
+    line,
+    mesh,
+    random_regular,
+    ring,
+    star,
+    torus,
+    tree,
+)
+from repro.network.io import (
+    from_edge_list,
+    load_edge_list,
+    save_edge_list,
+    to_dot,
+    to_edge_list,
+)
+from repro.network.reservations import LinkLedger, ReservationLedger
+from repro.network.topology import Topology
+
+__all__ = [
+    "NodeId",
+    "LinkId",
+    "link_between",
+    "Topology",
+    "LinkLedger",
+    "ReservationLedger",
+    "torus",
+    "mesh",
+    "ring",
+    "line",
+    "star",
+    "hypercube",
+    "complete_graph",
+    "random_regular",
+    "tree",
+    "to_edge_list",
+    "from_edge_list",
+    "save_edge_list",
+    "load_edge_list",
+    "to_dot",
+]

@@ -1,0 +1,51 @@
+"""Identities for network components (nodes and simplex links).
+
+The paper counts both nodes and links as failure-prone *components*
+(Section 3.2: "components include both nodes and links"), so the two kinds
+must share one identity space without collisions.  Nodes are arbitrary
+hashable values (the generators use ``int``); links are frozen
+:class:`LinkId` instances, which can never compare equal to a node id even
+when node ids are tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+# A node is identified by any hashable value; generators produce ints.
+NodeId = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class LinkId:
+    """Identity of one simplex (uni-directional) link.
+
+    A duplex connection between neighbours is modelled as two independent
+    ``LinkId`` instances, one per direction, matching the paper's network
+    model ("neighbor nodes are connected by two simplex links").  Each
+    direction fails, and is reserved, independently.
+    """
+
+    src: NodeId
+    dst: NodeId
+
+    def reversed(self) -> "LinkId":
+        """The companion simplex link in the opposite direction."""
+        return LinkId(self.dst, self.src)
+
+    def endpoints(self) -> tuple[NodeId, NodeId]:
+        """Both endpoint nodes, source first."""
+        return (self.src, self.dst)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.src}->{self.dst}"
+
+
+# A component is either a node id or a link id.  Type alias for signatures.
+Component = "NodeId | LinkId"
+
+
+def link_between(src: NodeId, dst: NodeId) -> LinkId:
+    """Convenience constructor mirroring ``LinkId(src, dst)``."""
+    return LinkId(src, dst)

@@ -1,0 +1,124 @@
+"""Topology import/export.
+
+Operators bring their own networks; these helpers move topologies in and
+out of the library: plain edge-list text (one link per line) and Graphviz
+DOT for visualisation.  ``networkx`` interop lives on
+:class:`~repro.network.topology.Topology` itself.
+
+Edge-list format::
+
+    # comment lines and blanks are ignored
+    a b 200          # duplex pair a<->b at capacity 200
+    b c 100 simplex  # one simplex link b->c only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path as FilePath
+
+from repro.network.topology import Topology
+
+
+def to_edge_list(topology: Topology) -> str:
+    """Serialise to edge-list text.
+
+    Duplex pairs with equal capacities collapse to one line; odd simplex
+    links get the ``simplex`` marker.
+    """
+    lines = [f"# {topology.name}"]
+    emitted = set()
+    for link in topology.links():
+        if link in emitted:
+            continue
+        reverse = link.reversed()
+        capacity = topology.capacity(link)
+        if (
+            reverse in topology
+            and topology.capacity(reverse) == capacity
+            and reverse not in emitted
+        ):
+            lines.append(f"{link.src} {link.dst} {capacity:g}")
+            emitted.add(link)
+            emitted.add(reverse)
+        else:
+            lines.append(f"{link.src} {link.dst} {capacity:g} simplex")
+            emitted.add(link)
+    return "\n".join(lines) + "\n"
+
+
+def from_edge_list(text: str, name: str = "imported") -> Topology:
+    """Parse edge-list text into a topology.
+
+    Node labels are read as integers when possible, else kept as strings.
+    """
+    def parse_node(token: str):
+        try:
+            return int(token)
+        except ValueError:
+            return token
+
+    topology = Topology(name=name)
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) not in (3, 4):
+            raise ValueError(
+                f"line {line_number}: expected 'src dst capacity [simplex]', "
+                f"got {raw!r}"
+            )
+        src, dst = parse_node(parts[0]), parse_node(parts[1])
+        try:
+            capacity = float(parts[2])
+        except ValueError:
+            raise ValueError(
+                f"line {line_number}: bad capacity {parts[2]!r}"
+            ) from None
+        if len(parts) == 4:
+            if parts[3] != "simplex":
+                raise ValueError(
+                    f"line {line_number}: unknown marker {parts[3]!r}"
+                )
+            topology.add_link(src, dst, capacity)
+        else:
+            topology.add_duplex_link(src, dst, capacity)
+    return topology
+
+
+def save_edge_list(topology: Topology, path: "FilePath | str") -> None:
+    """Write :func:`to_edge_list` output to a file."""
+    FilePath(path).write_text(to_edge_list(topology))
+
+
+def load_edge_list(path: "FilePath | str", name: "str | None" = None) -> Topology:
+    """Read a topology from an edge-list file."""
+    file_path = FilePath(path)
+    return from_edge_list(
+        file_path.read_text(), name=name or file_path.stem
+    )
+
+
+def to_dot(topology: Topology) -> str:
+    """Graphviz DOT export (duplex pairs render as one undirected edge)."""
+    lines = [f'digraph "{topology.name}" {{']
+    emitted = set()
+    for link in topology.links():
+        if link in emitted:
+            continue
+        reverse = link.reversed()
+        capacity = topology.capacity(link)
+        if reverse in topology and topology.capacity(reverse) == capacity:
+            lines.append(
+                f'  "{link.src}" -> "{link.dst}" '
+                f'[label="{capacity:g}", dir=both];'
+            )
+            emitted.add(link)
+            emitted.add(reverse)
+        else:
+            lines.append(
+                f'  "{link.src}" -> "{link.dst}" [label="{capacity:g}"];'
+            )
+            emitted.add(link)
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,192 @@
+"""Per-link bandwidth bookkeeping.
+
+Every simplex link tracks two reservation pools:
+
+* ``primary`` — bandwidth dedicated to active (primary) channels, exactly
+  as in a conventional real-time channel scheme, and
+* ``spare`` — the shared pool sized by backup multiplexing (Section 3.2),
+  from which activated backups draw.
+
+The admission rule everywhere is ``primary + spare <= capacity``.  The
+ledger enforces it and exposes the two network-wide percentages the paper
+reports: *network-load* (primary bandwidth over total capacity) and
+*spare bandwidth* (spare reservation over total capacity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.network.components import LinkId
+from repro.network.topology import Topology
+from repro.util.validation import check_non_negative
+
+#: Reservations within this absolute bandwidth tolerance of capacity are
+#: accepted, absorbing float round-off from repeated reserve/release cycles.
+_EPSILON = 1e-9
+
+
+class InsufficientCapacityError(Exception):
+    """Raised when a reservation would exceed a link's capacity."""
+
+    def __init__(self, link: LinkId, requested: float, available: float) -> None:
+        super().__init__(
+            f"link {link}: requested {requested:g} but only {available:g} available"
+        )
+        self.link = link
+        self.requested = requested
+        self.available = available
+
+
+@dataclass(slots=True)
+class LinkLedger:
+    """Reservation state of one simplex link."""
+
+    capacity: float
+    primary: float = 0.0
+    spare: float = 0.0
+
+    @property
+    def reserved(self) -> float:
+        """Total committed bandwidth (primary + spare)."""
+        return self.primary + self.spare
+
+    @property
+    def free(self) -> float:
+        """Uncommitted bandwidth available for new reservations."""
+        return self.capacity - self.reserved
+
+
+@dataclass
+class ReservationLedger:
+    """Bandwidth reservations for every link of a topology.
+
+    The ledger is deliberately policy-free: it only enforces capacity.  The
+    multiplexing engine decides *how much* spare each link needs and calls
+    :meth:`set_spare`; the establishment machinery decides *whether* a path
+    is admissible via :meth:`can_reserve_primary` / :meth:`can_set_spare`.
+    """
+
+    topology: Topology
+    _links: dict[LinkId, LinkLedger] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._links = {
+            link: LinkLedger(capacity=self.topology.capacity(link))
+            for link in self.topology.links()
+        }
+
+    # ------------------------------------------------------------------
+    # per-link accessors
+    # ------------------------------------------------------------------
+    def ledger(self, link: LinkId) -> LinkLedger:
+        """The :class:`LinkLedger` for ``link``."""
+        return self._links[link]
+
+    def free(self, link: LinkId) -> float:
+        """Uncommitted bandwidth on ``link``."""
+        return self._links[link].free
+
+    def primary_reserved(self, link: LinkId) -> float:
+        """Primary-pool reservation on ``link``."""
+        return self._links[link].primary
+
+    def spare_reserved(self, link: LinkId) -> float:
+        """Spare-pool reservation on ``link``."""
+        return self._links[link].spare
+
+    # ------------------------------------------------------------------
+    # primary-pool operations
+    # ------------------------------------------------------------------
+    def can_reserve_primary(self, link: LinkId, bandwidth: float) -> bool:
+        """Whether ``bandwidth`` more primary reservation fits on ``link``."""
+        return self._links[link].free + _EPSILON >= bandwidth
+
+    def reserve_primary(self, link: LinkId, bandwidth: float) -> None:
+        """Commit primary bandwidth; raises on capacity overflow."""
+        check_non_negative(bandwidth, "bandwidth")
+        entry = self._links[link]
+        if entry.free + _EPSILON < bandwidth:
+            raise InsufficientCapacityError(link, bandwidth, entry.free)
+        entry.primary += bandwidth
+
+    def release_primary(self, link: LinkId, bandwidth: float) -> None:
+        """Return primary bandwidth to the free pool."""
+        check_non_negative(bandwidth, "bandwidth")
+        entry = self._links[link]
+        if entry.primary + _EPSILON < bandwidth:
+            raise ValueError(
+                f"link {link}: releasing {bandwidth:g} primary but only "
+                f"{entry.primary:g} reserved"
+            )
+        entry.primary = max(0.0, entry.primary - bandwidth)
+
+    # ------------------------------------------------------------------
+    # spare-pool operations
+    # ------------------------------------------------------------------
+    def can_set_spare(self, link: LinkId, amount: float) -> bool:
+        """Whether the spare pool of ``link`` can be resized to ``amount``."""
+        entry = self._links[link]
+        return entry.primary + amount <= entry.capacity + _EPSILON
+
+    def set_spare(self, link: LinkId, amount: float) -> None:
+        """Resize the spare pool of ``link`` to exactly ``amount``.
+
+        Multiplexing recomputes the required spare from scratch (or
+        incrementally) and installs the result here, so the operation is an
+        absolute set rather than a relative reserve/release.
+        """
+        check_non_negative(amount, "amount")
+        entry = self._links[link]
+        if entry.primary + amount > entry.capacity + _EPSILON:
+            raise InsufficientCapacityError(
+                link, amount, entry.capacity - entry.primary
+            )
+        entry.spare = amount
+
+    def convert_spare_to_primary(self, link: LinkId, bandwidth: float) -> None:
+        """Move ``bandwidth`` from the spare pool into the primary pool.
+
+        This is the resource-reconfiguration step after a backup activation
+        (Section 4.4): the activated channel's bandwidth is no longer
+        shareable spare but dedicated primary reservation.
+        """
+        check_non_negative(bandwidth, "bandwidth")
+        entry = self._links[link]
+        if entry.spare + _EPSILON < bandwidth:
+            raise InsufficientCapacityError(link, bandwidth, entry.spare)
+        entry.spare -= bandwidth
+        entry.primary += bandwidth
+
+    # ------------------------------------------------------------------
+    # network-wide metrics (paper Section 7.1)
+    # ------------------------------------------------------------------
+    def network_load(self) -> float:
+        """Primary bandwidth over total capacity — the paper's *network-load*."""
+        total = self.topology.total_capacity()
+        return sum(entry.primary for entry in self._links.values()) / total
+
+    def spare_fraction(self) -> float:
+        """Spare reservation over total capacity — the paper's
+        *average spare bandwidth*."""
+        total = self.topology.total_capacity()
+        return sum(entry.spare for entry in self._links.values()) / total
+
+    def total_spare(self) -> float:
+        """Absolute spare bandwidth summed over all links."""
+        return sum(entry.spare for entry in self._links.values())
+
+    def max_link_utilization(self) -> float:
+        """Highest ``reserved / capacity`` ratio over all links."""
+        return max(
+            (entry.reserved / entry.capacity for entry in self._links.values()),
+            default=0.0,
+        )
+
+    def snapshot_spares(self) -> dict[LinkId, float]:
+        """Copy of every link's current spare reservation.
+
+        The recovery evaluator works on scenario-local copies so that
+        evaluating one failure scenario never mutates the network.
+        """
+        return {link: entry.spare for link, entry in self._links.items()}

@@ -1,0 +1,196 @@
+"""Static network topology: nodes and capacitated simplex links.
+
+A :class:`Topology` is the immutable substrate under everything else —
+routing, reservation ledgers, the BCP establishment machinery, the
+discrete-event protocol runtime, and fault injection all take one.  It is
+mutable while being built (``add_node`` / ``add_link``) and is typically
+produced by a generator in :mod:`repro.network.generators`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import networkx as nx
+
+from repro.network.components import LinkId, NodeId
+from repro.util.validation import check_positive
+
+
+class Topology:
+    """A directed graph of nodes and capacitated simplex links.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label used in experiment reports (e.g. ``"8x8 torus"``).
+    """
+
+    def __init__(self, name: str = "network") -> None:
+        self.name = name
+        self._out: dict[NodeId, dict[NodeId, LinkId]] = {}
+        self._in: dict[NodeId, dict[NodeId, LinkId]] = {}
+        self._capacity: dict[LinkId, float] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: NodeId) -> NodeId:
+        """Add ``node`` if absent; returns the node id for chaining."""
+        self._out.setdefault(node, {})
+        self._in.setdefault(node, {})
+        return node
+
+    def add_link(self, src: NodeId, dst: NodeId, capacity: float) -> LinkId:
+        """Add one simplex link from ``src`` to ``dst``.
+
+        Endpoints are created implicitly.  Re-adding an existing link is an
+        error: the network model has at most one simplex link per ordered
+        node pair.
+        """
+        if src == dst:
+            raise ValueError(f"self-loop links are not allowed (node {src!r})")
+        check_positive(capacity, "capacity")
+        self.add_node(src)
+        self.add_node(dst)
+        if dst in self._out[src]:
+            raise ValueError(f"link {src!r}->{dst!r} already exists")
+        link = LinkId(src, dst)
+        self._out[src][dst] = link
+        self._in[dst][src] = link
+        self._capacity[link] = float(capacity)
+        return link
+
+    def add_duplex_link(self, a: NodeId, b: NodeId, capacity: float) -> tuple[LinkId, LinkId]:
+        """Add the two simplex links between ``a`` and ``b`` (paper's model)."""
+        return (self.add_link(a, b, capacity), self.add_link(b, a, capacity))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._out)
+
+    @property
+    def num_links(self) -> int:
+        return len(self._capacity)
+
+    def nodes(self) -> Iterator[NodeId]:
+        """All node ids, in insertion order."""
+        return iter(self._out)
+
+    def links(self) -> Iterator[LinkId]:
+        """All simplex link ids, in insertion order."""
+        return iter(self._capacity)
+
+    def has_node(self, node: NodeId) -> bool:
+        """Whether ``node`` exists."""
+        return node in self._out
+
+    def has_link(self, src: NodeId, dst: NodeId) -> bool:
+        """Whether the simplex link ``src``->``dst`` exists."""
+        return src in self._out and dst in self._out[src]
+
+    def link(self, src: NodeId, dst: NodeId) -> LinkId:
+        """The simplex link from ``src`` to ``dst``; raises ``KeyError`` if absent."""
+        try:
+            return self._out[src][dst]
+        except KeyError:
+            raise KeyError(f"no link {src!r}->{dst!r} in {self.name}") from None
+
+    def capacity(self, link: LinkId) -> float:
+        """Bandwidth capacity of ``link``."""
+        return self._capacity[link]
+
+    def total_capacity(self) -> float:
+        """Sum of all simplex-link capacities (denominator of the paper's
+        *network-load* and *spare-bandwidth* percentages)."""
+        return sum(self._capacity.values())
+
+    def successors(self, node: NodeId) -> Iterator[NodeId]:
+        """Nodes reachable from ``node`` over one outgoing link."""
+        return iter(self._out[node])
+
+    def predecessors(self, node: NodeId) -> Iterator[NodeId]:
+        """Nodes with a link into ``node``."""
+        return iter(self._in[node])
+
+    def out_links(self, node: NodeId) -> Iterator[LinkId]:
+        """Outgoing simplex links of ``node``."""
+        return iter(self._out[node].values())
+
+    def in_links(self, node: NodeId) -> Iterator[LinkId]:
+        """Incoming simplex links of ``node``."""
+        return iter(self._in[node].values())
+
+    def incident_links(self, node: NodeId) -> list[LinkId]:
+        """All simplex links touching ``node`` (both directions).
+
+        A node crash implicitly disables every link in this list, which is
+        how the fault models expand node failures.
+        """
+        return list(self._out[node].values()) + list(self._in[node].values())
+
+    def out_degree(self, node: NodeId) -> int:
+        """Number of outgoing simplex links of ``node``."""
+        return len(self._out[node])
+
+    def in_degree(self, node: NodeId) -> int:
+        """Number of incoming simplex links of ``node``."""
+        return len(self._in[node])
+
+    # ------------------------------------------------------------------
+    # interop / dunder
+    # ------------------------------------------------------------------
+    def to_networkx(self) -> nx.DiGraph:
+        """Export as a ``networkx.DiGraph`` with ``capacity`` link attributes."""
+        graph = nx.DiGraph(name=self.name)
+        graph.add_nodes_from(self._out)
+        for link, cap in self._capacity.items():
+            graph.add_edge(link.src, link.dst, capacity=cap)
+        return graph
+
+    @classmethod
+    def from_networkx(cls, graph: nx.DiGraph, default_capacity: float = 1.0,
+                      name: str | None = None) -> "Topology":
+        """Build a topology from a ``networkx`` directed graph.
+
+        Edge attribute ``capacity`` is used when present, else
+        ``default_capacity``.
+        """
+        topology = cls(name=name or (graph.name or "network"))
+        for node in graph.nodes:
+            topology.add_node(node)
+        for src, dst, data in graph.edges(data=True):
+            topology.add_link(src, dst, data.get("capacity", default_capacity))
+        return topology
+
+    def subgraph_without(self, failed_nodes: Iterable[NodeId] = (),
+                         failed_links: Iterable[LinkId] = ()) -> "Topology":
+        """A copy of this topology with the given components removed.
+
+        Used by the reactive re-establishment baseline, which routes in the
+        residual network after a failure.
+        """
+        dead_nodes = set(failed_nodes)
+        dead_links = set(failed_links)
+        residual = Topology(name=f"{self.name} (residual)")
+        for node in self._out:
+            if node not in dead_nodes:
+                residual.add_node(node)
+        for link, cap in self._capacity.items():
+            if (link in dead_links or link.src in dead_nodes
+                    or link.dst in dead_nodes):
+                continue
+            residual.add_link(link.src, link.dst, cap)
+        return residual
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, LinkId):
+            return item in self._capacity
+        return item in self._out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Topology({self.name!r}, nodes={self.num_nodes}, "
+                f"links={self.num_links})")

@@ -1,0 +1,633 @@
+"""The per-node BCP daemon (Section 4).
+
+Each node runs one daemon.  It keeps a :class:`LocalChannelRecord` for
+every channel whose path crosses the node, and — at the end-nodes of a
+D-connection — an :class:`EndpointView` with the connection-level
+knowledge needed for channel switching (backup serials, paths, health).
+
+The daemon implements:
+
+* failure detection hand-off and failure reporting along the healthy
+  segments of failed channels' paths, under any of the three switching
+  schemes (Section 4.2),
+* backup activation with spare-pool draws, including multiplexing
+  failures and the two priority-based activation variants (Section 4.3),
+* the soft-state rejoin machinery (Section 4.4): rejoin timers,
+  rejoin-request / rejoin-confirm forwarding, late-rejoin closure.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.network.components import LinkId, NodeId
+from repro.protocol.config import SwitchingScheme
+from repro.protocol.messages import (
+    ActivationMessage,
+    ChannelClosure,
+    ControlMessage,
+    Direction,
+    FailureReport,
+    RejoinConfirm,
+    RejoinRequest,
+)
+from repro.protocol.states import LocalChannelRecord, LocalChannelState
+from repro.routing.paths import Path
+from repro.sim.timers import PeriodicTimer, Timeout
+
+
+class _FailureSide(enum.Enum):
+    """Where a detected failure lies relative to this node on the path."""
+
+    UPSTREAM = "upstream"      # we are the downstream neighbour
+    DOWNSTREAM = "downstream"  # we are the upstream neighbour
+
+
+@dataclass
+class BackupInfo:
+    """Endpoint-side knowledge of one backup channel."""
+
+    channel_id: int
+    serial: int
+    path: Path
+    mux_degree: int
+
+
+@dataclass
+class EndpointView:
+    """Connection-level state kept at each end-node (Section 4.2)."""
+
+    connection_id: int
+    source: NodeId
+    destination: NodeId
+    role: str  # "source" | "destination"
+    current_channel: int  # channel id currently carrying (or meant to carry) data
+    backups: list[BackupInfo] = field(default_factory=list)
+    unhealthy: set[int] = field(default_factory=set)
+    attempted: set[int] = field(default_factory=set)
+    recovering: bool = False
+
+    def next_backup(self) -> "BackupInfo | None":
+        """Lowest-serial backup believed healthy and not yet attempted —
+        the serial-number rule that keeps both end-nodes consistent."""
+        for backup in sorted(self.backups, key=lambda info: info.serial):
+            if backup.channel_id in self.unhealthy:
+                continue
+            if backup.channel_id in self.attempted:
+                continue
+            return backup
+        return None
+
+
+class BCPDaemon:
+    """The BCP agent at one node."""
+
+    def __init__(self, node: NodeId, runtime) -> None:
+        self.node = node
+        self.runtime = runtime
+        self.records: dict[int, LocalChannelRecord] = {}
+        self.views: dict[int, EndpointView] = {}
+        self._rejoin_timers: dict[int, Timeout] = {}
+        self._probe_timers: dict[int, PeriodicTimer] = {}
+
+    # ------------------------------------------------------------------
+    # registration (channel establishment has already happened; the
+    # runtime installs the resulting state)
+    # ------------------------------------------------------------------
+    def register_channel(
+        self,
+        channel_id: int,
+        connection_id: int,
+        serial: int,
+        path: Path,
+        mux_degree: int,
+        state: LocalChannelState,
+    ) -> LocalChannelRecord:
+        """Install a channel's local record in the given state."""
+        record = LocalChannelRecord(
+            channel_id=channel_id,
+            connection_id=connection_id,
+            serial=serial,
+            path=path,
+            node=self.node,
+            mux_degree=mux_degree,
+        )
+        record.transition(state)
+        self.records[channel_id] = record
+        return record
+
+    def register_endpoint(self, view: EndpointView) -> None:
+        """Install connection-level knowledge at an end-node."""
+        self.views[view.connection_id] = view
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    @property
+    def _config(self):
+        return self.runtime.config
+
+    def _alive(self) -> bool:
+        return self.runtime.node_up(self.node)
+
+    def _trace(self, category: str, description: str) -> None:
+        self.runtime.trace.record(
+            self.runtime.engine.now, category, self.node, description
+        )
+
+    def _send(self, next_hop: NodeId, message: ControlMessage) -> None:
+        self.runtime.rcc_send(self.node, next_hop, message)
+
+    def _next_hop(self, record: LocalChannelRecord, direction: Direction):
+        if direction is Direction.TO_SOURCE:
+            return record.upstream
+        return record.downstream
+
+    def _start_rejoin_timer(self, record: LocalChannelRecord) -> None:
+        timer = self._rejoin_timers.get(record.channel_id)
+        if timer is None:
+            timer = Timeout(
+                self.runtime.engine,
+                self._config.rejoin_timeout,
+                lambda cid=record.channel_id: self._rejoin_expired(cid),
+            )
+            self._rejoin_timers[record.channel_id] = timer
+        timer.start()
+
+    def _cancel_rejoin_timer(self, channel_id: int) -> None:
+        timer = self._rejoin_timers.get(channel_id)
+        if timer is not None:
+            timer.cancel()
+
+    def _rejoin_expired(self, channel_id: int) -> None:
+        if not self._alive():
+            return
+        record = self.records.get(channel_id)
+        if record is None or record.state is not LocalChannelState.UNHEALTHY:
+            return
+        # Soft-state teardown: the channel's local resources are released.
+        record.transition(LocalChannelState.NON_EXISTENT)
+        self._trace(
+            "teardown",
+            f"rejoin timer expired; channel {channel_id} released",
+        )
+        self.runtime.release_channel_at_node(channel_id, self.node)
+
+    # ------------------------------------------------------------------
+    # failure detection (called by the runtime on the failed component's
+    # neighbour nodes)
+    # ------------------------------------------------------------------
+    def on_component_failure(self, component) -> None:
+        """A component adjacent to this node crashed; find every channel
+        we host that traverses it and start the recovery machinery."""
+        if not self._alive():
+            return
+        for record in list(self.records.values()):
+            side = self._relation(record, component)
+            if side is None:
+                continue
+            self._handle_detected_failure(record, side, component)
+
+    def _relation(self, record: LocalChannelRecord, component):
+        """Whether ``component`` is this record's upstream/downstream
+        neighbour component (link or node)."""
+        up, down = record.upstream, record.downstream
+        if up is not None:
+            if component == up or component == LinkId(up, self.node):
+                return _FailureSide.UPSTREAM
+        if down is not None:
+            if component == down or component == LinkId(self.node, down):
+                return _FailureSide.DOWNSTREAM
+        return None
+
+    def _handle_detected_failure(
+        self, record: LocalChannelRecord, side: _FailureSide, component
+    ) -> None:
+        if record.state in (LocalChannelState.PRIMARY, LocalChannelState.BACKUP):
+            record.transition(LocalChannelState.UNHEALTHY)
+            self._start_rejoin_timer(record)
+            self._trace(
+                "detect",
+                f"channel {record.channel_id} lost its {side.value} "
+                f"component {component}",
+            )
+        elif record.state is LocalChannelState.NON_EXISTENT:
+            return
+        scheme = self._config.scheme
+        # Which reports this node generates (Fig. 5): the node downstream
+        # of the failure reports toward the destination (schemes 1, 3); the
+        # node upstream reports toward the source (schemes 2, 3).
+        if side is _FailureSide.UPSTREAM and scheme in (
+            SwitchingScheme.SCHEME_1, SwitchingScheme.SCHEME_3
+        ):
+            self._emit_report(record, Direction.TO_DESTINATION, component)
+        if side is _FailureSide.DOWNSTREAM and scheme in (
+            SwitchingScheme.SCHEME_2, SwitchingScheme.SCHEME_3
+        ):
+            self._emit_report(record, Direction.TO_SOURCE, component)
+
+    def _emit_report(
+        self, record: LocalChannelRecord, direction: Direction, component,
+        mux_failure: bool = False,
+    ) -> None:
+        if direction in record.reported:
+            return
+        record.reported.add(direction)
+        report = FailureReport(
+            channel_id=record.channel_id,
+            direction=direction,
+            failed_component=component,
+            mux_failure=mux_failure,
+        )
+        next_hop = self._next_hop(record, direction)
+        if next_hop is None:
+            # This node *is* the target end-node.
+            self._end_node_learns_failure(record, report)
+        else:
+            self._trace(
+                "report",
+                f"failure report for channel {record.channel_id} "
+                f"{direction.value} via {next_hop}",
+            )
+            self._send(next_hop, report)
+
+    # ------------------------------------------------------------------
+    # message dispatch (called by the RCC layer)
+    # ------------------------------------------------------------------
+    def receive(self, message: ControlMessage) -> None:
+        """Dispatch one control message delivered by the RCC layer."""
+        if not self._alive():
+            return
+        record = self.records.get(message.channel_id)
+        if record is None:
+            return  # the channel was never established through this node
+        if isinstance(message, FailureReport):
+            self._receive_failure_report(record, message)
+        elif isinstance(message, ActivationMessage):
+            self._receive_activation(record, message)
+        elif isinstance(message, RejoinRequest):
+            self._receive_rejoin_request(record, message)
+        elif isinstance(message, RejoinConfirm):
+            self._receive_rejoin_confirm(record, message)
+        elif isinstance(message, ChannelClosure):
+            self._receive_closure(record, message)
+
+    # -- failure reports ------------------------------------------------
+    def _receive_failure_report(
+        self, record: LocalChannelRecord, report: FailureReport
+    ) -> None:
+        if (
+            record.state is LocalChannelState.UNHEALTHY
+            and report.direction in record.reported
+        ):
+            return  # duplicate: already seen/forwarded this episode
+        if record.state in (LocalChannelState.PRIMARY, LocalChannelState.BACKUP):
+            record.transition(LocalChannelState.UNHEALTHY)
+            self._start_rejoin_timer(record)
+        if record.state is LocalChannelState.NON_EXISTENT:
+            return  # already torn down; nothing to do or forward
+        record.reported.add(report.direction)
+        next_hop = self._next_hop(record, report.direction)
+        if next_hop is None:
+            self._end_node_learns_failure(record, report)
+        else:
+            self._send(next_hop, report)
+
+    def _end_node_learns_failure(
+        self, record: LocalChannelRecord, report: FailureReport
+    ) -> None:
+        view = self.views.get(record.connection_id)
+        if view is None:  # pragma: no cover - every endpoint has a view
+            return
+        view.unhealthy.add(record.channel_id)
+        self._trace(
+            "informed",
+            f"end-node learned channel {record.channel_id} of connection "
+            f"{record.connection_id} is unhealthy",
+        )
+        self.runtime.metrics.note_endpoint_informed(
+            record.connection_id, record.channel_id, self.runtime.engine.now
+        )
+        if view.role == "source":
+            # Soft-state repair attempt (Section 4.4): probe the failed
+            # channel's path now and periodically while it stays
+            # unhealthy, so a repair anywhere inside the rejoin window is
+            # caught even if earlier probes died at the break.
+            self.start_rejoin_probe(record.channel_id)
+            self._start_probe_timer(record.channel_id)
+        if record.channel_id != view.current_channel:
+            return  # a standby backup failed; health table updated, done
+        if not self._initiates_activation(view):
+            return
+        self._initiate_recovery(view)
+
+    def _initiates_activation(self, view: EndpointView) -> bool:
+        scheme = self._config.scheme
+        if scheme is SwitchingScheme.SCHEME_1:
+            return view.role == "destination"
+        if scheme is SwitchingScheme.SCHEME_2:
+            return view.role == "source"
+        return True
+
+    # -- recovery / activation -------------------------------------------
+    def _initiate_recovery(self, view: EndpointView) -> None:
+        view.recovering = True
+        backup = view.next_backup()
+        if backup is None:
+            self.runtime.metrics.note_unrecoverable(
+                view.connection_id, self.runtime.engine.now, self.node
+            )
+            if view.role == "source":
+                # Section 4.4: all channels lost — fall back to building a
+                # new primary from scratch (if the runtime allows it).
+                self.runtime.request_reestablishment(view.connection_id)
+            return
+        delay = backup.mux_degree * self._config.activation_delay_per_degree
+        if delay > 0:
+            self.runtime.engine.schedule(
+                delay, self._send_activation, view, backup
+            )
+        else:
+            self._send_activation(view, backup)
+
+    def _send_activation(self, view: EndpointView, backup: BackupInfo) -> None:
+        if not self._alive():
+            return
+        if backup.channel_id in view.unhealthy:
+            # Learned of its death while waiting; pick another.
+            self._initiate_recovery(view)
+            return
+        if backup.channel_id in view.attempted:
+            return
+        view.attempted.add(backup.channel_id)
+        view.current_channel = backup.channel_id
+        self._trace(
+            "activation",
+            f"activating backup serial {backup.serial} of connection "
+            f"{view.connection_id}",
+        )
+        record = self.records[backup.channel_id]
+        direction = (
+            Direction.TO_DESTINATION if view.role == "source"
+            else Direction.TO_SOURCE
+        )
+        if view.role == "source":
+            self.runtime.metrics.note_activation_sent(
+                view.connection_id, backup.serial, self.runtime.engine.now
+            )
+        if record.state is not LocalChannelState.BACKUP:
+            # Already promoted by the other end's activation sweeping the
+            # whole path, or already failed; nothing to send.
+            return
+        record.transition(LocalChannelState.PRIMARY)
+        # The endpoint draws its own outgoing link (the source end);
+        # the destination end owns no forward link on the channel.
+        if view.role == "source":
+            if not self._draw_or_mux_fail(record):
+                return
+        next_hop = self._next_hop(record, direction)
+        if next_hop is not None:
+            self._send(
+                next_hop,
+                ActivationMessage(
+                    channel_id=backup.channel_id,
+                    direction=direction,
+                    connection_id=view.connection_id,
+                    serial=backup.serial,
+                ),
+            )
+
+    def _receive_activation(
+        self, record: LocalChannelRecord, message: ActivationMessage
+    ) -> None:
+        if record.state is LocalChannelState.UNHEALTHY:
+            return  # Fig. 4: activation in U is ignored
+        if record.state is LocalChannelState.PRIMARY:
+            return  # already activated from the other end; discard
+        if record.state is LocalChannelState.NON_EXISTENT:
+            return
+        record.transition(LocalChannelState.PRIMARY)
+        if record.is_source:
+            # Scheme 1/3: the destination-initiated activation reached the
+            # source; the source can now resume data transfer.
+            view = self.views.get(record.connection_id)
+            if view is not None:
+                view.current_channel = record.channel_id
+                view.attempted.add(record.channel_id)
+            self.runtime.metrics.note_source_resumed(
+                record.connection_id, record.serial, self.runtime.engine.now
+            )
+        if not record.is_destination:
+            if not self._draw_or_mux_fail(record):
+                return
+        next_hop = self._next_hop(record, message.direction)
+        if next_hop is not None:
+            self._send(next_hop, message)
+
+    def _draw_or_mux_fail(self, record: LocalChannelRecord) -> bool:
+        """Draw this node's outgoing backup-path link from the spare pool;
+        on exhaustion, declare a multiplexing failure (Section 3.3)."""
+        downstream = record.downstream
+        link = LinkId(self.node, downstream)
+        drawn, preempted = self.runtime.try_draw(
+            link, record.channel_id, record.mux_degree
+        )
+        for victim_id in preempted:
+            self._preempt(victim_id)
+        if drawn:
+            record.mux_failed_link = None
+            return True
+        record.mux_failed_link = link
+        # Spare exhausted: the backup cannot function (mux failure).  The
+        # channel enters U and both end-nodes are told, exactly like a
+        # component failure (Section 4.1).
+        record.transition(LocalChannelState.UNHEALTHY)
+        self._start_rejoin_timer(record)
+        self._trace(
+            "mux-failure",
+            f"spare exhausted on {link} for channel {record.channel_id}",
+        )
+        self.runtime.metrics.note_mux_failure(
+            record.connection_id, record.channel_id, link, self.runtime.engine.now
+        )
+        self._emit_report(record, Direction.TO_SOURCE, link, mux_failure=True)
+        self._emit_report(record, Direction.TO_DESTINATION, link, mux_failure=True)
+        return False
+
+    def _preempt(self, channel_id: int) -> None:
+        """A lower-priority activated backup lost its spare to a
+        higher-priority activation; handle exactly like a failure
+        (Section 4.3: "preempted channels are handled as if they were
+        disabled by component failures")."""
+        record = self.records.get(channel_id)
+        if record is None:
+            return
+        if record.state is LocalChannelState.PRIMARY:
+            record.transition(LocalChannelState.UNHEALTHY)
+            self._start_rejoin_timer(record)
+        self._trace(
+            "preemption",
+            f"channel {channel_id} of connection {record.connection_id} "
+            f"preempted by a higher-priority activation",
+        )
+        self.runtime.metrics.note_preemption(
+            record.connection_id, channel_id, self.runtime.engine.now
+        )
+        self._emit_report(record, Direction.TO_SOURCE, None)
+        self._emit_report(record, Direction.TO_DESTINATION, None)
+
+    # -- teardown ----------------------------------------------------------
+    def initiate_closure(self, channel_id: int) -> None:
+        """Client-initiated teardown: release the channel here and send a
+        channel-closure message down its path (Section 4.4: "a
+        'channel-closure message' is usually sent over the channel's
+        path, so that resources for the channel may be released")."""
+        record = self.records.get(channel_id)
+        if record is None or not record.is_source:
+            raise ValueError(
+                f"node {self.node!r} is not the source of channel {channel_id}"
+            )
+        if record.state is LocalChannelState.NON_EXISTENT:
+            return
+        record.transition(LocalChannelState.NON_EXISTENT)
+        self._cancel_rejoin_timer(channel_id)
+        self.runtime.release_channel_at_node(channel_id, self.node)
+        self._trace("closure", f"tearing down channel {channel_id}")
+        if record.downstream is not None:
+            self._send(
+                record.downstream,
+                ChannelClosure(channel_id=channel_id,
+                               direction=Direction.TO_DESTINATION),
+            )
+
+    # -- rejoin (Section 4.4) ---------------------------------------------
+    def _start_probe_timer(self, channel_id: int) -> None:
+        timer = self._probe_timers.get(channel_id)
+        if timer is None:
+            timer = PeriodicTimer(
+                self.runtime.engine,
+                self._config.rejoin_probe_interval,
+                lambda cid=channel_id: self._probe_tick(cid),
+            )
+            self._probe_timers[channel_id] = timer
+        if not timer.running:
+            timer.start()
+
+    def _probe_tick(self, channel_id: int) -> None:
+        record = self.records.get(channel_id)
+        if (
+            not self._alive()
+            or record is None
+            or record.state is not LocalChannelState.UNHEALTHY
+        ):
+            timer = self._probe_timers.get(channel_id)
+            if timer is not None:
+                timer.stop()
+            return
+        self.start_rejoin_probe(channel_id)
+
+    def start_rejoin_probe(self, channel_id: int) -> None:
+        """Source-side entry point: probe whether a failed channel's path
+        has healed (called by the runtime or by tests)."""
+        record = self.records.get(channel_id)
+        if record is None or not record.is_source:
+            raise ValueError(
+                f"node {self.node!r} is not the source of channel {channel_id}"
+            )
+        next_hop = record.downstream
+        if next_hop is not None:
+            self._send(next_hop, RejoinRequest(channel_id=channel_id))
+
+    def _receive_rejoin_request(
+        self, record: LocalChannelRecord, message: RejoinRequest
+    ) -> None:
+        if record.state is LocalChannelState.NON_EXISTENT:
+            return  # torn down; the request dies here
+        if record.mux_failed_link is not None:
+            # Healing a multiplexing failure needs the spare back
+            # (Section 4.4); if the pool is still dry, drop the request.
+            drawn, _ = self.runtime.try_draw(
+                record.mux_failed_link, record.channel_id, record.mux_degree,
+                allow_preemption=False,
+            )
+            if not drawn:
+                return
+            # The channel is only rejoining as a *standby*; give the unit
+            # straight back so the pool sizing reflects a backup again.
+            self.runtime.release_draw(record.mux_failed_link, record.channel_id)
+            record.mux_failed_link = None
+        if record.is_destination:
+            if record.state is LocalChannelState.UNHEALTHY:
+                record.transition(LocalChannelState.BACKUP)
+                self._cancel_rejoin_timer(record.channel_id)
+                self._refresh_view_after_rejoin(record)
+                self.runtime.metrics.note_rejoined(
+                    record.connection_id, record.channel_id, self.runtime.engine.now
+                )
+            next_hop = record.upstream
+            if next_hop is not None:
+                self._send(next_hop, RejoinConfirm(channel_id=record.channel_id))
+            return
+        self._send(record.downstream, message)
+
+    def _receive_rejoin_confirm(
+        self, record: LocalChannelRecord, message: RejoinConfirm
+    ) -> None:
+        if record.state is LocalChannelState.NON_EXISTENT:
+            # Rejoin timer already expired here: resources are gone, so the
+            # repair must be undone along the rest of the path (Fig. 6).
+            if record.downstream is not None:
+                self._send(
+                    record.downstream,
+                    ChannelClosure(
+                        channel_id=record.channel_id,
+                        direction=Direction.TO_DESTINATION,
+                    ),
+                )
+            return
+        if record.state is LocalChannelState.UNHEALTHY:
+            record.transition(LocalChannelState.BACKUP)
+            self._cancel_rejoin_timer(record.channel_id)
+        if record.is_source:
+            self._refresh_view_after_rejoin(record)
+            self._trace(
+                "rejoined",
+                f"channel {record.channel_id} repaired and back in service "
+                f"as a backup",
+            )
+            self.runtime.metrics.note_rejoined(
+                record.connection_id, record.channel_id, self.runtime.engine.now
+            )
+            return
+        self._send(record.upstream, message)
+
+    def _refresh_view_after_rejoin(self, record: LocalChannelRecord) -> None:
+        """Update this endpoint's connection view when a channel heals: it
+        is healthy again, re-attemptable, and offered as a backup even if
+        it was the original primary."""
+        view = self.views.get(record.connection_id)
+        if view is None:
+            return
+        view.unhealthy.discard(record.channel_id)
+        view.attempted.discard(record.channel_id)
+        if all(info.channel_id != record.channel_id for info in view.backups):
+            view.backups.append(
+                BackupInfo(
+                    channel_id=record.channel_id,
+                    serial=record.serial,
+                    path=record.path,
+                    mux_degree=record.mux_degree,
+                )
+            )
+
+    def _receive_closure(
+        self, record: LocalChannelRecord, message: ChannelClosure
+    ) -> None:
+        if record.state is not LocalChannelState.NON_EXISTENT:
+            record.transition(LocalChannelState.NON_EXISTENT)
+            self._cancel_rejoin_timer(record.channel_id)
+            self.runtime.release_channel_at_node(record.channel_id, self.node)
+        next_hop = self._next_hop(record, message.direction)
+        if next_hop is not None:
+            self._send(next_hop, message)

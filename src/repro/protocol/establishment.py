@@ -1,0 +1,258 @@
+"""Distributed D-connection establishment (Section 3.4, message level).
+
+The centralised :class:`~repro.core.establishment.EstablishmentEngine`
+commits all resources atomically; the paper's actual procedure is a
+message exchange — "a pair of channel-establishment messages: (i) the
+'resource reservation message' from source to destination and (ii) the
+'resource relaxation message' from destination to source" — with
+hop-by-hop admission and *tentative, unmultiplexed* spare reservation on
+the forward pass ("BCP reserves spare resources for the backup without
+multiplexing, while calculating the |Ψ| of each link"), ν selection at
+the destination, and multiplexed relaxation on the way back.
+
+:class:`DistributedEstablishment` replays exactly that sequence on an
+event engine, mutating the live :class:`~repro.core.bcp.BCPNetwork` at
+message-arrival times.  Two consequences the centralised engine hides:
+
+* establishment has a measurable latency (a signalling round trip per
+  channel), and
+* a request can fail on the forward pass even though its *multiplexed*
+  footprint would fit — the tentative unmultiplexed reservation is what
+  must fit momentarily.  This is faithful to the paper's procedure.
+
+The end state for an uncontended request is identical to the centralised
+engine's (asserted in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.channels.channel import Channel, ChannelRole
+from repro.channels.qos import DelayQoS, FaultToleranceQoS
+from repro.channels.traffic import TrafficSpec
+from repro.core.bcp import BCPNetwork
+from repro.core.dconnection import DConnection
+from repro.core.establishment import EstablishmentError
+from repro.core.reliability import connection_pr
+from repro.network.components import LinkId, NodeId
+from repro.protocol.signaling import SignalingParams
+from repro.routing.paths import Path
+from repro.sim.engine import EventEngine
+
+
+@dataclass
+class EstablishmentOutcome:
+    """Result of one distributed establishment session."""
+
+    success: bool = False
+    connection: "DConnection | None" = None
+    #: When the source received the final relaxation message.
+    completed_at: "float | None" = None
+    #: Completion time of each channel's round trip (primary first).
+    channel_times: list[float] = field(default_factory=list)
+    failure_reason: "str | None" = None
+
+
+class DistributedEstablishment:
+    """Message-level establishment sessions against a live network."""
+
+    def __init__(
+        self,
+        network: BCPNetwork,
+        engine: "EventEngine | None" = None,
+        params: "SignalingParams | None" = None,
+    ) -> None:
+        self.network = network
+        self.engine = engine or EventEngine()
+        self.params = params or SignalingParams()
+
+    # ------------------------------------------------------------------
+    def establish(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        traffic: "TrafficSpec | None" = None,
+        delay_qos: "DelayQoS | None" = None,
+        ft_qos: "FaultToleranceQoS | None" = None,
+        at: float = 0.0,
+        run: bool = True,
+    ) -> EstablishmentOutcome:
+        """Establish a D-connection via message passes starting at ``at``.
+
+        With ``run=True`` (default) the engine is driven to completion and
+        the outcome returned; with ``run=False`` the session is scheduled
+        and the caller drives the engine (concurrent sessions contend for
+        capacity through their tentative reservations).
+        """
+        session = _Session(
+            self, src, dst,
+            traffic or TrafficSpec(),
+            delay_qos or DelayQoS(),
+            ft_qos or FaultToleranceQoS(),
+        )
+        self.engine.schedule_at(at, session.start)
+        if run:
+            self.engine.run()
+        return session.outcome
+
+
+class _Session:
+    """One connection's establishment: primary pass, then backup passes."""
+
+    def __init__(self, host: DistributedEstablishment, src: NodeId,
+                 dst: NodeId, traffic: TrafficSpec, delay_qos: DelayQoS,
+                 ft_qos: FaultToleranceQoS) -> None:
+        self.host = host
+        self.network = host.network
+        self.engine = host.engine
+        self.src = src
+        self.dst = dst
+        self.traffic = traffic
+        self.delay_qos = delay_qos
+        self.ft_qos = ft_qos
+        self.outcome = EstablishmentOutcome()
+        self.connection: "DConnection | None" = None
+
+    # -- helpers ---------------------------------------------------------
+    @property
+    def _step(self) -> float:
+        return self.host.params.hop_delay + self.host.params.processing_delay
+
+    def _fail(self, reason: str) -> None:
+        """Backup-stage failure: the primary is fully reserved and earlier
+        backups committed, so the normal teardown undoes everything."""
+        self.outcome.failure_reason = reason
+        self.outcome.completed_at = self.engine.now
+        if self.connection is not None:
+            connection_id = self.connection.connection_id
+            self.network.engine.teardown(self.connection)
+            self.network._connections.pop(connection_id, None)
+            self.connection = None
+
+    def _fail_primary_forward(self, reason: str) -> None:
+        """Primary forward-pass failure: the prefix reservations are
+        already released; only the registry entry remains to undo."""
+        self.outcome.failure_reason = reason
+        self.outcome.completed_at = self.engine.now
+        if self.connection is not None:
+            self.network.registry.remove(
+                self.connection.primary.channel_id
+            )
+            self.network._connections.pop(
+                self.connection.connection_id, None
+            )
+            self.connection = None
+
+    # -- session flow ------------------------------------------------------
+    def start(self) -> None:
+        engine = self.network.engine
+        try:
+            connection = engine._establish_primary_only(
+                self.src, self.dst, self.traffic, self.delay_qos, self.ft_qos
+            )
+        except EstablishmentError as error:
+            # Routing itself failed; nothing was reserved.
+            self.outcome.failure_reason = str(error)
+            self.outcome.completed_at = self.engine.now
+            return
+        # _establish_primary_only reserves atomically; undo that and
+        # replay the reservation hop by hop on the message schedule.
+        self.connection = connection
+        self.network._connections[connection.connection_id] = connection
+        engine.admission.release_primary(connection.primary.path, self.traffic)
+        self._forward_primary(connection.primary.path, 0)
+
+    def _forward_primary(self, path: Path, index: int) -> None:
+        ledger = self.network.ledger
+        if index == path.hops:
+            self.engine.schedule(path.hops * self._step,
+                                 self._primary_confirmed)
+            return
+        link = path.links[index]
+        if not ledger.can_reserve_primary(link, self.traffic.bandwidth):
+            self._release_primary_prefix(path, index)
+            self._fail_primary_forward(f"admission failed at link {link}")
+            return
+        ledger.reserve_primary(link, self.traffic.bandwidth)
+        self.engine.schedule(self._step, self._forward_primary, path,
+                             index + 1)
+
+    def _release_primary_prefix(self, path: Path, upto: int) -> None:
+        for link in path.links[:upto]:
+            self.network.ledger.release_primary(link, self.traffic.bandwidth)
+
+    def _primary_confirmed(self) -> None:
+        self.outcome.channel_times.append(self.engine.now)
+        self._next_backup()
+
+    def _next_backup(self) -> None:
+        assert self.connection is not None
+        if self.connection.num_backups >= self.ft_qos.num_backups:
+            self._complete()
+            return
+        engine = self.network.engine
+        try:
+            path = engine._route_backup(
+                self.connection, self.ft_qos.mux_degree
+            )
+        except EstablishmentError as error:
+            self._fail(str(error))
+            return
+        self._forward_backup(path, 0, [])
+
+    def _forward_backup(self, path: Path, index: int,
+                        tentative: list[tuple[LinkId, float]]) -> None:
+        ledger = self.network.ledger
+        if index == path.hops:
+            # Destination: "select the largest ν which satisfies the
+            # required P_r" — prescriptive requests simply keep theirs.
+            self.engine.schedule(
+                self._step, self._backward_backup, path, tentative
+            )
+            return
+        link = path.links[index]
+        # Forward pass reserves WITHOUT multiplexing: the pool must
+        # momentarily hold one extra unshared unit.
+        current = ledger.spare_reserved(link)
+        unmuxed = current + self.traffic.bandwidth
+        if not ledger.can_set_spare(link, unmuxed):
+            for done_link, original in tentative:
+                ledger.set_spare(done_link, original)
+            self._fail(f"tentative spare failed at link {link}")
+            return
+        ledger.set_spare(link, unmuxed)
+        tentative.append((link, current))
+        self.engine.schedule(self._step, self._forward_backup, path,
+                             index + 1, tentative)
+
+    def _backward_backup(self, path: Path,
+                         tentative: list[tuple[LinkId, float]]) -> None:
+        """The relaxation pass, collapsed to one event: restore the
+        tentative reservations, then commit the multiplexed amounts
+        through the central engine (identical math, distributed timing)."""
+        assert self.connection is not None
+        ledger = self.network.ledger
+        for link, original in tentative:
+            ledger.set_spare(link, original)
+        engine = self.network.engine
+        backup = engine._commit_backup(
+            self.connection, path, self.ft_qos.mux_degree
+        )
+        assert backup.role is ChannelRole.BACKUP
+        self.engine.schedule(
+            path.hops * self._step, self._backup_confirmed
+        )
+
+    def _backup_confirmed(self) -> None:
+        self.outcome.channel_times.append(self.engine.now)
+        self._next_backup()
+
+    def _complete(self) -> None:
+        assert self.connection is not None
+        self.connection.achieved_pr = connection_pr(
+            self.connection, self.network.mux
+        )
+        self.outcome.success = True
+        self.outcome.connection = self.connection
+        self.outcome.completed_at = self.engine.now

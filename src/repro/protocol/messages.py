@@ -1,0 +1,92 @@
+"""Control messages and RCC frames (Sections 4.2, 5.1).
+
+Control messages are immutable records; an :class:`RCCFrame` bundles
+several of them for one hop (the paper's Fig. 7 format: a combination of
+failure reports, activation messages, and acknowledgments, plus a
+sequence number for duplicate detection).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Direction(enum.Enum):
+    """Travel direction of a control message along a channel's path."""
+
+    TO_SOURCE = "to_source"
+    TO_DESTINATION = "to_destination"
+
+    def reverse(self) -> "Direction":
+        """The opposite travel direction."""
+        if self is Direction.TO_SOURCE:
+            return Direction.TO_DESTINATION
+        return Direction.TO_SOURCE
+
+
+@dataclass(frozen=True, slots=True)
+class ControlMessage:
+    """Base class: every control message names the channel it concerns."""
+
+    channel_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class FailureReport(ControlMessage):
+    """A channel was disabled by a component failure (or a multiplexing
+    failure when ``mux_failure`` is set); travels toward one end-node
+    through the healthy segment of the channel's path."""
+
+    direction: Direction = Direction.TO_SOURCE
+    failed_component: object = None
+    mux_failure: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class ActivationMessage(ControlMessage):
+    """Activate a backup channel (``channel_id`` is the backup's id).
+
+    ``serial`` lets both end-nodes verify they are activating the same
+    backup (Section 4.2).
+    """
+
+    direction: Direction = Direction.TO_DESTINATION
+    connection_id: int = -1
+    serial: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class RejoinRequest(ControlMessage):
+    """Source-to-destination probe over a failed channel's path: if it
+    gets through, the channel is repairable (Section 4.4)."""
+
+
+@dataclass(frozen=True, slots=True)
+class RejoinConfirm(ControlMessage):
+    """Destination-to-source confirmation: the channel is repaired and
+    becomes a backup again (U -> B)."""
+
+
+@dataclass(frozen=True, slots=True)
+class ChannelClosure(ControlMessage):
+    """Tear the channel down at each node (undo of a late rejoin, or an
+    explicit teardown)."""
+
+    direction: Direction = Direction.TO_DESTINATION
+
+
+@dataclass(frozen=True, slots=True)
+class RCCFrame:
+    """One RCC transmission unit: a batch of control messages plus
+    acknowledgments of previously received frames (Fig. 7)."""
+
+    seq: int
+    messages: tuple[ControlMessage, ...] = ()
+    acks: tuple[int, ...] = field(default=())
+
+    @property
+    def is_pure_ack(self) -> bool:
+        """Frames carrying only acknowledgments are not themselves acked,
+        avoiding infinite ack chains."""
+        return not self.messages

@@ -1,0 +1,209 @@
+"""Real-time control channels (Section 5.1).
+
+One :class:`RCCLink` runs over each simplex physical link.  It batches
+outgoing control messages into sequence-numbered frames, enforces the
+``1/R_max`` eligibility spacing and the ``S_max`` frame size, delivers
+frames after the ``D_max`` hop delay, and guarantees delivery with
+hop-by-hop acknowledgments and retransmission.  Duplicate frames are
+detected by sequence number and dropped (their ack is still sent, in case
+the original ack was lost).
+
+Acknowledgments ride the *reverse* RCC link as pure-ack frames, which are
+themselves not acknowledged.  Frames are lost when the physical link (or
+either endpoint node) is down, or — to exercise the machinery — with a
+configurable random probability.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.network.components import LinkId
+from repro.protocol.config import ProtocolConfig
+from repro.protocol.messages import ControlMessage, RCCFrame
+from repro.sim.engine import EventEngine, EventHandle
+from repro.util.rng import make_rng
+
+
+@dataclass
+class RCCStats:
+    """Per-link transport counters (diagnostics and tests)."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    frames_sent: int = 0
+    frames_delivered: int = 0
+    frames_lost: int = 0
+    duplicates_dropped: int = 0
+    retransmissions: int = 0
+    gave_up: int = 0
+    acks_sent: int = 0
+    #: Worst message queueing+delivery delay observed on this link.
+    max_message_delay: float = 0.0
+
+
+@dataclass
+class _PendingFrame:
+    frame: RCCFrame
+    retries: int = 0
+    timer: "EventHandle | None" = field(default=None, repr=False)
+
+
+class RCCLink:
+    """The RCC in one direction of one physical link."""
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        link: LinkId,
+        config: ProtocolConfig,
+        link_up: Callable[[LinkId], bool],
+        deliver: Callable[[ControlMessage], None],
+        seed: "int | None" = 0,
+    ) -> None:
+        self.engine = engine
+        self.link = link
+        self.config = config
+        self._link_up = link_up
+        self._deliver = deliver
+        self._rng = make_rng(seed)
+        self.stats = RCCStats()
+
+        self._queue: deque[tuple[float, ControlMessage]] = deque()
+        self._next_seq = 0
+        self._last_tx = -float("inf")
+        self._tx_scheduled: EventHandle | None = None
+        self._pending: dict[int, _PendingFrame] = {}
+        self._pending_acks: list[int] = []
+        self._seen_seqs: set[int] = set()
+        #: Enqueue times of the messages in each not-yet-delivered frame,
+        #: for the max_message_delay statistic.
+        self._frame_times: dict[int, float] = {}
+        #: The reverse-direction RCCLink, used to carry our acks.
+        self.reverse: "RCCLink | None" = None
+        #: Called with the link id when a frame exhausts its retransmission
+        #: budget — the sender-side liveness signal (a heartbeat-detection
+        #: runtime uses it to detect dead *outgoing* links, which missed
+        #: incoming beats cannot reveal).
+        self.on_give_up: "Callable[[LinkId], None] | None" = None
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send(self, message: ControlMessage) -> None:
+        """Queue a control message; it rides the next eligible frame."""
+        self.stats.messages_sent += 1
+        self._queue.append((self.engine.now, message))
+        self._schedule_transmission()
+
+    def _schedule_transmission(self) -> None:
+        if self._tx_scheduled is not None and self._tx_scheduled.active:
+            return
+        eligible_at = max(
+            self.engine.now, self._last_tx + self.config.rcc.min_interval
+        )
+        self._tx_scheduled = self.engine.schedule_at(eligible_at, self._transmit)
+
+    def _transmit(self) -> None:
+        self._tx_scheduled = None
+        if not self._queue and not self._pending_acks:
+            return
+        batch: list[ControlMessage] = []
+        oldest_enqueue = self.engine.now
+        while self._queue and len(batch) < self.config.rcc.max_messages_per_frame:
+            enqueued_at, message = self._queue.popleft()
+            oldest_enqueue = min(oldest_enqueue, enqueued_at)
+            batch.append(message)
+        acks = tuple(self._pending_acks)
+        self._pending_acks.clear()
+        frame = RCCFrame(seq=self._next_seq, messages=tuple(batch), acks=acks)
+        self._next_seq += 1
+        self._last_tx = self.engine.now
+        if not frame.is_pure_ack:
+            pending = _PendingFrame(frame=frame)
+            self._pending[frame.seq] = pending
+            self._frame_times[frame.seq] = oldest_enqueue
+            self._arm_retransmit(pending)
+        self._launch(frame)
+        if self._queue:
+            self._schedule_transmission()
+
+    def _launch(self, frame: RCCFrame) -> None:
+        self.stats.frames_sent += 1
+        if not self._link_up(self.link) or (
+            self.config.frame_loss_probability > 0
+            and self._rng.random() < self.config.frame_loss_probability
+        ):
+            self.stats.frames_lost += 1
+            return  # lost; the retransmit timer covers non-pure-ack frames
+        self.engine.schedule(self.config.rcc.max_delay, self._arrive, frame)
+
+    # ------------------------------------------------------------------
+    # retransmission
+    # ------------------------------------------------------------------
+    def _arm_retransmit(self, pending: _PendingFrame) -> None:
+        pending.timer = self.engine.schedule(
+            self.config.ack_timeout, self._retransmit, pending
+        )
+
+    def _retransmit(self, pending: _PendingFrame) -> None:
+        if pending.frame.seq not in self._pending:
+            return  # acked in the meantime
+        if pending.retries >= self.config.max_retransmissions:
+            del self._pending[pending.frame.seq]
+            self._frame_times.pop(pending.frame.seq, None)
+            self.stats.gave_up += 1
+            if self.on_give_up is not None:
+                self.on_give_up(self.link)
+            return
+        pending.retries += 1
+        self.stats.retransmissions += 1
+        self._arm_retransmit(pending)
+        self._launch(pending.frame)
+
+    def _handle_ack(self, seq: int) -> None:
+        pending = self._pending.pop(seq, None)
+        if pending is not None and pending.timer is not None:
+            pending.timer.cancel()
+
+    # ------------------------------------------------------------------
+    # receiving (runs at the *destination* node of the link)
+    # ------------------------------------------------------------------
+    def _arrive(self, frame: RCCFrame) -> None:
+        if not self._link_up(self.link):
+            # The link (or an endpoint) died while the frame was in flight.
+            self.stats.frames_lost += 1
+            return
+        self.stats.frames_delivered += 1
+        for seq in frame.acks:
+            self._handle_ack_on_reverse(seq)
+        if frame.is_pure_ack:
+            return
+        self._queue_ack(frame.seq)
+        if frame.seq in self._seen_seqs:
+            self.stats.duplicates_dropped += 1
+            return
+        self._seen_seqs.add(frame.seq)
+        enqueued_at = self._frame_times.pop(frame.seq, None)
+        if enqueued_at is not None:
+            self.stats.max_message_delay = max(
+                self.stats.max_message_delay, self.engine.now - enqueued_at
+            )
+        for message in frame.messages:
+            self.stats.messages_delivered += 1
+            self._deliver(message)
+
+    def _handle_ack_on_reverse(self, seq: int) -> None:
+        # Acks carried by this link acknowledge frames sent on the reverse
+        # link (we receive at this link's dst, which sends on the reverse).
+        if self.reverse is not None:
+            self.reverse._handle_ack(seq)
+
+    def _queue_ack(self, seq: int) -> None:
+        if self.reverse is None:
+            return
+        self.stats.acks_sent += 1
+        self.reverse._pending_acks.append(seq)
+        self.reverse._schedule_transmission()

@@ -1,0 +1,677 @@
+"""The protocol simulation runtime.
+
+:class:`ProtocolSimulation` wires the event kernel, per-node BCP daemons,
+and per-link RCC channels up from a loaded
+:class:`~repro.core.bcp.BCPNetwork`, injects component failures/repairs,
+and records :class:`ProtocolMetrics` — most importantly each connection's
+*service-disruption time*, the quantity bounded in Section 5.3.
+
+Resource semantics during recovery follow Section 4: each activation draws
+the channel's bandwidth from the link's spare pool; exhausted pools cause
+multiplexing failures; with preemption enabled (Section 4.3) a
+higher-priority activation may evict an already-activated lower-priority
+backup from a congested link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.channels.channel import ChannelRole
+from repro.core.bcp import BCPNetwork
+from repro.faults.models import FailureScenario
+from repro.network.components import LinkId, NodeId
+from repro.protocol.config import ProtocolConfig
+from repro.protocol.daemon import BackupInfo, BCPDaemon, EndpointView
+from repro.protocol.messages import ControlMessage
+from repro.protocol.rcc import RCCLink
+from repro.protocol.states import LocalChannelState
+from repro.protocol.signaling import establishment_latency
+from repro.routing.shortest import (
+    NoPathError,
+    RouteConstraints,
+    hop_distance,
+    shortest_path,
+)
+from repro.sim.engine import EventEngine
+from repro.sim.trace import TraceLog
+from repro.util.rng import make_rng
+
+
+@dataclass
+class RecoveryRecord:
+    """Per-connection recovery trace."""
+
+    connection_id: int
+    #: When the failure disabling the (current) primary was injected.
+    failed_at: float | None = None
+    #: When an end-node first learned of the failure.
+    informed_at: float | None = None
+    #: Activation attempts: serial -> time the source resumed service for
+    #: that attempt (sent its activation, or received the destination's).
+    attempts: dict[int, float] = field(default_factory=dict)
+    #: Serial of the backup whose activation completed end-to-end.
+    recovered_serial: int | None = None
+    #: When that backup became fully active on every hop.
+    completed_at: float | None = None
+    unrecoverable: bool = False
+    endpoint_failed: bool = False
+    mux_failures: int = 0
+    #: Slow-path recovery: when a from-scratch replacement channel
+    #: finished its establishment round trip (Section 4.4), if enabled.
+    reestablished_at: float | None = None
+    reestablished_hops: int | None = None
+
+    @property
+    def recovered(self) -> bool:
+        return self.recovered_serial is not None
+
+    @property
+    def service_disruption(self) -> float | None:
+        """Failure injection to source-side service resumption — the
+        paper's recovery delay Γ (Section 5.3)."""
+        if self.failed_at is None or self.recovered_serial is None:
+            return None
+        resumed = self.attempts.get(self.recovered_serial)
+        if resumed is None:
+            return None
+        return resumed - self.failed_at
+
+    @property
+    def slow_recovery_disruption(self) -> float | None:
+        """Failure to re-established service, for connections that lost
+        every channel and took the slow path."""
+        if self.failed_at is None or self.reestablished_at is None:
+            return None
+        return self.reestablished_at - self.failed_at
+
+
+class ProtocolMetrics:
+    """Event-level counters and per-connection recovery traces."""
+
+    def __init__(self) -> None:
+        self.recoveries: dict[int, RecoveryRecord] = {}
+        self.preemptions = 0
+        self.rejoins = 0
+        self.mux_failures = 0
+        self.unrecoverable = 0
+        self.reestablished = 0
+
+    def _record(self, connection_id: int) -> RecoveryRecord:
+        record = self.recoveries.get(connection_id)
+        if record is None:
+            record = RecoveryRecord(connection_id=connection_id)
+            self.recoveries[connection_id] = record
+        return record
+
+    # -- hooks called by the runtime and daemons -------------------------
+    def note_primary_failed(
+        self, connection_id: int, time: float, endpoint_failed: bool
+    ) -> None:
+        """Record that a connection's primary was hit (first time wins)."""
+        record = self._record(connection_id)
+        if record.failed_at is None:
+            record.failed_at = time
+        record.endpoint_failed = record.endpoint_failed or endpoint_failed
+
+    def note_endpoint_informed(
+        self, connection_id: int, channel_id: int, time: float
+    ) -> None:
+        """Record when an end-node first learned of the failure."""
+        record = self._record(connection_id)
+        if record.informed_at is None:
+            record.informed_at = time
+
+    def note_activation_sent(
+        self, connection_id: int, serial: int, time: float
+    ) -> None:
+        """Record the source dispatching an activation for ``serial``."""
+        record = self._record(connection_id)
+        record.attempts.setdefault(serial, time)
+
+    def note_source_resumed(
+        self, connection_id: int, serial: int, time: float
+    ) -> None:
+        """Record a destination-initiated activation reaching the source."""
+        # Scheme 1/3: the destination's activation reached the source.
+        record = self._record(connection_id)
+        record.attempts.setdefault(serial, time)
+
+    def note_completed(self, connection_id: int, serial: int, time: float) -> None:
+        """Record a backup becoming fully active end to end."""
+        record = self._record(connection_id)
+        if record.recovered_serial is None:
+            record.recovered_serial = serial
+            record.completed_at = time
+
+    def note_mux_failure(
+        self, connection_id: int, channel_id: int, link: LinkId, time: float
+    ) -> None:
+        """Count a multiplexing failure on ``link``."""
+        self.mux_failures += 1
+        self._record(connection_id).mux_failures += 1
+
+    def note_unrecoverable(
+        self, connection_id: int, time: float, node: NodeId
+    ) -> None:
+        """Record that an end-node ran out of backups."""
+        record = self._record(connection_id)
+        if not record.unrecoverable:
+            record.unrecoverable = True
+            self.unrecoverable += 1
+
+    def note_reestablished(
+        self, connection_id: int, time: float, hops: int
+    ) -> None:
+        """Record slow-path re-establishment completing."""
+        record = self._record(connection_id)
+        if record.reestablished_at is None:
+            record.reestablished_at = time
+            record.reestablished_hops = hops
+            self.reestablished += 1
+
+    def note_preemption(
+        self, connection_id: int, channel_id: int, time: float
+    ) -> None:
+        """Count a lower-priority backup losing its spare."""
+        self.preemptions += 1
+
+    def note_rejoined(
+        self, connection_id: int, channel_id: int, time: float
+    ) -> None:
+        """Count a channel healing via the rejoin machinery."""
+        self.rejoins += 1
+
+    # -- summaries --------------------------------------------------------
+    def service_disruptions(self) -> dict[int, float]:
+        """Connection id -> measured service-disruption time, for every
+        connection that recovered via a backup."""
+        result = {}
+        for connection_id, record in self.recoveries.items():
+            disruption = record.service_disruption
+            if disruption is not None:
+                result[connection_id] = disruption
+        return result
+
+    def recovered_count(self) -> int:
+        """Number of connections recovered via a backup."""
+        return sum(1 for record in self.recoveries.values() if record.recovered)
+
+    def max_service_disruption(self) -> float | None:
+        """Worst measured disruption, or ``None`` if none recovered."""
+        disruptions = self.service_disruptions()
+        return max(disruptions.values()) if disruptions else None
+
+
+class ProtocolSimulation:
+    """A running BCP network: daemons + RCC links over an event kernel."""
+
+    def __init__(
+        self,
+        network: BCPNetwork,
+        config: ProtocolConfig | None = None,
+        seed: "int | None" = 0,
+        trace: bool = False,
+    ) -> None:
+        self.network = network
+        self.config = config or ProtocolConfig()
+        self.engine = EventEngine()
+        self.metrics = ProtocolMetrics()
+        self.trace = TraceLog(enabled=trace)
+        self.failed_components: set = set()
+
+        rng = make_rng(seed)
+        self.daemons: dict[NodeId, BCPDaemon] = {
+            node: BCPDaemon(node, self) for node in network.topology.nodes()
+        }
+        self._rcc: dict[LinkId, RCCLink] = {}
+        for link in network.topology.links():
+            self._rcc[link] = RCCLink(
+                engine=self.engine,
+                link=link,
+                config=self.config,
+                link_up=self.link_up,
+                deliver=self._make_deliver(link.dst),
+                seed=rng.getrandbits(64),
+            )
+        for link, rcc in self._rcc.items():
+            reverse = self._rcc.get(link.reversed())
+            rcc.reverse = reverse
+
+        # Spare pools and draw bookkeeping.
+        self._spare_pools = network.ledger.snapshot_spares()
+        self._draws: dict[LinkId, dict[int, float]] = {}
+        self._drawn_links: dict[int, set[LinkId]] = {}
+        #: channel id -> (connection id, serial, bandwidth, hops, mux degree)
+        self._channel_meta: dict[int, tuple[int, int, float, int, int]] = {}
+        #: Links where a channel holds a *dedicated* reservation (its
+        #: original primary reservation, or spare converted by a completed
+        #: activation, Section 4.4).  Activating over an owned link needs
+        #: no spare draw — this is what lets a repaired-and-rejoined
+        #: channel be re-activated without new resources.
+        self._owned_links: dict[int, set[LinkId]] = {}
+
+        self._install_channels()
+
+        self.heartbeats = None
+        #: Links already declared failed via RCC give-up (one declaration
+        #: per outage; cleared on repair).
+        self._suspected_links: set[LinkId] = set()
+        if self.config.heartbeat_detection:
+            from repro.protocol.detection import HeartbeatService
+
+            self.heartbeats = HeartbeatService(self)
+            self.heartbeats.start()
+            # Sender-side liveness: an RCC giving up on a link tells its
+            # source node the link is dead (missed incoming beats can only
+            # inform the destination side).
+            for link, rcc in self._rcc.items():
+                rcc.on_give_up = self._on_rcc_give_up
+
+    def _on_rcc_give_up(self, link: LinkId) -> None:
+        """Sender-side liveness verdict; note that an ack-path failure is
+        indistinguishable from a forward failure here, so a single simplex
+        failure makes *both* directions suspected — a real limitation of
+        ack-based detection (the affected healthy channels just switch to
+        their backups unnecessarily, which is safe)."""
+        if not self.node_up(link.src) or link in self._suspected_links:
+            return
+        self._suspected_links.add(link)
+        self.trace.record(
+            self.engine.now, "hb-detect", link.src,
+            f"RCC gave up on {link}: declaring it failed",
+        )
+        self.daemons[link.src].on_component_failure(link)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _make_deliver(self, node: NodeId):
+        daemon = None
+
+        def deliver(message: ControlMessage) -> None:
+            nonlocal daemon
+            link = getattr(message, "link", None)
+            if link is not None and self.heartbeats is not None:
+                # Link-level heartbeat, not channel control traffic.
+                self.heartbeats.on_heartbeat(link)
+                return
+            if daemon is None:
+                daemon = self.daemons[node]
+            daemon.receive(message)
+
+        return deliver
+
+    def _install_channels(self) -> None:
+        for connection in self.network.connections():
+            for channel in connection.channels:
+                state = (
+                    LocalChannelState.PRIMARY
+                    if channel.role is ChannelRole.PRIMARY
+                    else LocalChannelState.BACKUP
+                )
+                self._channel_meta[channel.channel_id] = (
+                    connection.connection_id,
+                    channel.serial,
+                    channel.bandwidth,
+                    channel.path.hops,
+                    channel.mux_degree,
+                )
+                if channel.role is ChannelRole.PRIMARY:
+                    self._owned_links[channel.channel_id] = set(
+                        channel.path.links
+                    )
+                for node in channel.path.nodes:
+                    self.daemons[node].register_channel(
+                        channel_id=channel.channel_id,
+                        connection_id=connection.connection_id,
+                        serial=channel.serial,
+                        path=channel.path,
+                        mux_degree=channel.mux_degree,
+                        state=state,
+                    )
+            backups = [
+                BackupInfo(
+                    channel_id=backup.channel_id,
+                    serial=backup.serial,
+                    path=backup.path,
+                    mux_degree=backup.mux_degree,
+                )
+                for backup in connection.backups_in_serial_order()
+            ]
+            for node, role in (
+                (connection.source, "source"),
+                (connection.destination, "destination"),
+            ):
+                self.daemons[node].register_endpoint(
+                    EndpointView(
+                        connection_id=connection.connection_id,
+                        source=connection.source,
+                        destination=connection.destination,
+                        role=role,
+                        current_channel=connection.primary.channel_id,
+                        backups=[
+                            BackupInfo(
+                                channel_id=info.channel_id,
+                                serial=info.serial,
+                                path=info.path,
+                                mux_degree=info.mux_degree,
+                            )
+                            for info in backups
+                        ],
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # health model
+    # ------------------------------------------------------------------
+    def node_up(self, node: NodeId) -> bool:
+        """Whether ``node`` is currently healthy."""
+        return node not in self.failed_components
+
+    def link_up(self, link: LinkId) -> bool:
+        """Whether ``link`` and both its endpoints are healthy."""
+        return (
+            link not in self.failed_components
+            and link.src not in self.failed_components
+            and link.dst not in self.failed_components
+        )
+
+    # ------------------------------------------------------------------
+    # RCC transport entry point for daemons
+    # ------------------------------------------------------------------
+    def rcc_send(self, src: NodeId, next_hop: NodeId, message: ControlMessage) -> None:
+        """Hand a control message to the RCC toward ``next_hop``."""
+        try:
+            link = self.network.topology.link(src, next_hop)
+        except KeyError:  # pragma: no cover - paths always follow links
+            return
+        self._rcc[link].send(message)
+
+    def rcc_link(self, src: NodeId, dst: NodeId) -> RCCLink:
+        """The RCC over a physical link (tests and diagnostics)."""
+        return self._rcc[self.network.topology.link(src, dst)]
+
+    # ------------------------------------------------------------------
+    # spare-pool draws
+    # ------------------------------------------------------------------
+    def spare_remaining(self, link: LinkId) -> float:
+        """Undrawn spare currently left on ``link``."""
+        drawn = sum(self._draws.get(link, {}).values())
+        return self._spare_pools.get(link, 0.0) - drawn
+
+    def try_draw(
+        self,
+        link: LinkId,
+        channel_id: int,
+        mux_degree: int,
+        allow_preemption: "bool | None" = None,
+    ) -> tuple[bool, list[int]]:
+        """Draw the channel's bandwidth from ``link``'s spare pool.
+
+        Returns ``(drawn, preempted_channel_ids)``.  With preemption
+        enabled, activated backups of strictly lower priority (larger mux
+        degree) are evicted one by one until the draw fits or no victims
+        remain (Section 4.3).
+        """
+        bandwidth = self._channel_meta[channel_id][2]
+        owned = self._owned_links.get(channel_id)
+        if owned is not None and link in owned:
+            # The channel still holds its dedicated reservation here (an
+            # original primary that was repaired and rejoined): no spare
+            # draw needed.
+            self._note_link_active(channel_id, link)
+            return True, []
+        draws_here = self._draws.setdefault(link, {})
+        if channel_id in draws_here:
+            return True, []
+        preempt = self.config.preemption if allow_preemption is None else (
+            allow_preemption and self.config.preemption
+        )
+        victims: list[int] = []
+        while self.spare_remaining(link) + 1e-9 < bandwidth:
+            if not preempt:
+                return False, victims
+            victim = self._pick_victim(link, mux_degree)
+            if victim is None:
+                return False, victims
+            victims.append(victim)
+            self.release_draw(link, victim)
+        draws_here[channel_id] = bandwidth
+        self._note_link_active(channel_id, link)
+        return True, victims
+
+    def _note_link_active(self, channel_id: int, link: LinkId) -> None:
+        drawn_links = self._drawn_links.setdefault(channel_id, set())
+        drawn_links.add(link)
+        connection_id, serial, _, hops, _ = self._channel_meta[channel_id]
+        if len(drawn_links) == hops:
+            self.metrics.note_completed(connection_id, serial, self.engine.now)
+            self.trace.record(
+                self.engine.now, "recovered", link.src,
+                f"connection {connection_id} fully active on backup "
+                f"serial {serial}",
+            )
+            # The activated channel's bandwidth is now dedicated to it
+            # (spare converted to primary, Section 4.4).
+            self._owned_links.setdefault(channel_id, set()).update(drawn_links)
+
+    def _pick_victim(self, link: LinkId, degree: int) -> "int | None":
+        """Lowest-priority (largest mux degree) channel drawing on ``link``
+        whose priority is strictly below ``degree`` — the preemption victim
+        of Section 4.3, or ``None``."""
+        best: "int | None" = None
+        best_degree = degree
+        for cid in self._draws.get(link, ()):
+            cid_degree = self._channel_meta[cid][4]
+            if cid_degree > best_degree:
+                best = cid
+                best_degree = cid_degree
+        return best
+
+    def release_draw(self, link: LinkId, channel_id: int) -> None:
+        """Return a channel's draw on ``link`` to the pool."""
+        draws_here = self._draws.get(link)
+        if draws_here is not None:
+            draws_here.pop(channel_id, None)
+        drawn_links = self._drawn_links.get(channel_id)
+        if drawn_links is not None:
+            drawn_links.discard(link)
+
+    def release_channel_at_node(self, channel_id: int, node: NodeId) -> None:
+        """Soft-state teardown hook: release this node's outgoing draw and
+        dedicated reservation for the channel (rejoin-timer expiry or
+        closure)."""
+        drawn_links = self._drawn_links.get(channel_id)
+        if drawn_links:
+            for link in list(drawn_links):
+                if link.src == node:
+                    self.release_draw(link, channel_id)
+        owned = self._owned_links.get(channel_id)
+        if owned:
+            for link in list(owned):
+                if link.src == node:
+                    owned.discard(link)
+
+    # ------------------------------------------------------------------
+    # control-plane accounting (Section 5.2's overhead view)
+    # ------------------------------------------------------------------
+    def rcc_totals(self) -> dict[str, int]:
+        """Network-wide RCC transport counters, summed over all links."""
+        totals = {
+            "messages_sent": 0,
+            "messages_delivered": 0,
+            "frames_sent": 0,
+            "frames_delivered": 0,
+            "frames_lost": 0,
+            "retransmissions": 0,
+            "duplicates_dropped": 0,
+            "gave_up": 0,
+        }
+        for rcc in self._rcc.values():
+            stats = rcc.stats
+            for key in totals:
+                totals[key] += getattr(stats, key)
+        return totals
+
+    def worst_control_delay(self) -> float:
+        """Largest per-hop control-message delay observed anywhere — the
+        quantity Section 5.2's sizing rule bounds by D_max."""
+        return max(
+            (rcc.stats.max_message_delay for rcc in self._rcc.values()),
+            default=0.0,
+        )
+
+    # ------------------------------------------------------------------
+    # client-initiated teardown
+    # ------------------------------------------------------------------
+    def close_connection(self, connection_id: int, at: float) -> None:
+        """Schedule a client teardown of every channel of a connection:
+        the source sends closure messages down each path at time ``at``."""
+        connection = self.network.connection(connection_id)
+        for channel in connection.channels:
+            self.engine.schedule_at(
+                at,
+                self.daemons[connection.source].initiate_closure,
+                channel.channel_id,
+            )
+
+    # ------------------------------------------------------------------
+    # slow-path re-establishment (Section 4.4)
+    # ------------------------------------------------------------------
+    def request_reestablishment(self, connection_id: int) -> None:
+        """Route a replacement primary in the residual network and pay the
+        two-pass establishment latency; no-op unless enabled in config."""
+        if not self.config.reestablish_unrecoverable:
+            return
+        connection = self.network.connection(connection_id)
+        topology = self.network.topology
+        failed_nodes = [c for c in self.failed_components
+                        if not isinstance(c, LinkId)]
+        failed_links = [c for c in self.failed_components
+                        if isinstance(c, LinkId)]
+        residual = topology.subgraph_without(failed_nodes, failed_links)
+        bandwidth = connection.traffic.bandwidth
+        try:
+            shortest_possible = hop_distance(
+                topology, connection.source, connection.destination
+            )
+            path = shortest_path(
+                residual,
+                connection.source,
+                connection.destination,
+                RouteConstraints(
+                    link_admissible=lambda link: (
+                        self.network.ledger.free(link) + 1e-9 >= bandwidth
+                    ),
+                    max_hops=connection.delay_qos.max_hops(shortest_possible),
+                ),
+            )
+        except NoPathError:
+            self.trace.record(
+                self.engine.now, "no-route", connection.source,
+                f"connection {connection_id}: no QoS-feasible replacement "
+                f"path in the residual network",
+            )
+            return
+        latency = establishment_latency(path.hops)
+        self.trace.record(
+            self.engine.now, "reestablish", connection.source,
+            f"connection {connection_id}: building a {path.hops}-hop "
+            f"replacement (ready in {latency:g})",
+        )
+        self.engine.schedule(
+            latency,
+            lambda: self.metrics.note_reestablished(
+                connection_id, self.engine.now, path.hops
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # failure and repair injection
+    # ------------------------------------------------------------------
+    def fail(self, component, at: float) -> None:
+        """Schedule a component crash at absolute time ``at``."""
+        self.engine.schedule_at(at, self._apply_failure, component)
+
+    def repair(self, component, at: float) -> None:
+        """Schedule a component repair at absolute time ``at``."""
+        self.engine.schedule_at(at, self._apply_repair, component)
+
+    def _apply_repair(self, component) -> None:
+        self.failed_components.discard(component)
+        if isinstance(component, LinkId):
+            self._suspected_links.discard(component)
+            self._suspected_links.discard(component.reversed())
+        else:
+            for link in self.network.topology.incident_links(component):
+                self._suspected_links.discard(link)
+        self.trace.record(self.engine.now, "repair", component,
+                          "component repaired")
+
+    def inject_scenario(self, scenario: FailureScenario, at: float) -> None:
+        """Crash every component of ``scenario`` at time ``at``."""
+        for node in scenario.failed_nodes:
+            self.fail(node, at)
+        for link in scenario.failed_links:
+            self.fail(link, at)
+
+    def _apply_failure(self, component) -> None:
+        if component in self.failed_components:
+            return
+        self.failed_components.add(component)
+        now = self.engine.now
+        self.trace.record(now, "failure", component, "component crashed")
+        # Metrics: which connections lost their primary to this component?
+        for channel in self.network.registry.on_component(component):
+            if channel.role is not ChannelRole.PRIMARY:
+                continue
+            connection = self.network.connection(channel.connection_id)
+            endpoint_failed = (
+                connection.source in self.failed_components
+                or connection.destination in self.failed_components
+            )
+            self.metrics.note_primary_failed(
+                channel.connection_id, now, endpoint_failed
+            )
+        # Detection: with heartbeats it is emergent (missed beats); the
+        # paper's default assumes an external detector informing the
+        # neighbours after `detection_delay`.
+        if self.config.heartbeat_detection:
+            return
+        for neighbour in self._neighbours_of(component):
+            self.engine.schedule(
+                self.config.detection_delay,
+                self.daemons[neighbour].on_component_failure,
+                component,
+            )
+
+    def _neighbours_of(self, component) -> list[NodeId]:
+        topology = self.network.topology
+        if isinstance(component, LinkId):
+            return [node for node in component.endpoints() if self.node_up(node)]
+        neighbours = set(topology.successors(component)) | set(
+            topology.predecessors(component)
+        )
+        return [node for node in neighbours if self.node_up(node)]
+
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None) -> float:
+        """Run the event loop; returns the final simulation time."""
+        return self.engine.run(until=until)
+
+
+def simulate_scenario(
+    network: BCPNetwork,
+    scenario: FailureScenario,
+    config: ProtocolConfig | None = None,
+    failure_time: float = 1.0,
+    horizon: float = 500.0,
+    seed: "int | None" = 0,
+) -> ProtocolMetrics:
+    """Convenience wrapper: inject one scenario into a fresh runtime, run
+    to ``horizon``, return the metrics."""
+    simulation = ProtocolSimulation(network, config, seed)
+    simulation.inject_scenario(scenario, failure_time)
+    simulation.run(until=horizon)
+    return simulation.metrics

@@ -1,0 +1,142 @@
+"""Per-node channel state (the state machine of Fig. 4).
+
+At each node, a channel is in one of four states: non-existent (N),
+healthy primary (P), healthy backup (B), or unhealthy (U).  The allowed
+transitions are exactly those of the paper's Fig. 4; anything else raises,
+which turns protocol bugs into loud test failures instead of silent state
+corruption.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.network.components import NodeId
+from repro.routing.paths import Path
+
+
+class LocalChannelState(enum.Enum):
+    """Fig. 4 channel states at a node."""
+
+    NON_EXISTENT = "N"
+    PRIMARY = "P"
+    BACKUP = "B"
+    UNHEALTHY = "U"
+
+
+#: Legal transitions of the Fig. 4 state machine (event-agnostic closure).
+_ALLOWED: dict[LocalChannelState, frozenset[LocalChannelState]] = {
+    LocalChannelState.NON_EXISTENT: frozenset(
+        {LocalChannelState.PRIMARY, LocalChannelState.BACKUP}
+    ),
+    LocalChannelState.PRIMARY: frozenset(
+        {LocalChannelState.UNHEALTHY, LocalChannelState.NON_EXISTENT}
+    ),
+    LocalChannelState.BACKUP: frozenset(
+        {
+            LocalChannelState.PRIMARY,  # activation
+            LocalChannelState.UNHEALTHY,
+            LocalChannelState.NON_EXISTENT,  # teardown
+        }
+    ),
+    LocalChannelState.UNHEALTHY: frozenset(
+        {
+            LocalChannelState.BACKUP,  # repair (rejoin)
+            LocalChannelState.NON_EXISTENT,  # rejoin timer expiry
+        }
+    ),
+}
+
+
+class IllegalTransitionError(Exception):
+    """A transition outside the Fig. 4 state machine was attempted."""
+
+    def __init__(self, channel_id: int, node: NodeId,
+                 current: LocalChannelState, target: LocalChannelState) -> None:
+        super().__init__(
+            f"channel {channel_id} at node {node!r}: "
+            f"{current.value} -> {target.value} is not a Fig. 4 transition"
+        )
+
+
+@dataclass
+class LocalChannelRecord:
+    """Everything a BCP daemon knows about one channel through its node.
+
+    The paper (Section 3.4): "the BCP daemon at each node has to maintain
+    the information about each backup running through the node, including
+    the path of its primary, the multiplexing threshold, ... and the
+    current channel state".
+    """
+
+    channel_id: int
+    connection_id: int
+    serial: int
+    path: Path
+    node: NodeId
+    mux_degree: int
+    state: LocalChannelState = LocalChannelState.NON_EXISTENT
+    #: Reporting dedup: directions in which this node already forwarded a
+    #: failure report for the current failure episode.
+    reported: set = field(default_factory=set)
+    #: Set when the channel entered U because this node could not draw
+    #: spare for it (a multiplexing failure); a rejoin through this node
+    #: must re-acquire spare on that link before the channel can heal.
+    mux_failed_link: object = None
+
+    def __post_init__(self) -> None:
+        if self.node not in self.path.nodes:
+            raise ValueError(
+                f"node {self.node!r} is not on the path of channel "
+                f"{self.channel_id}"
+            )
+        index = self.path.nodes.index(self.node)
+        self._index = index
+
+    # ------------------------------------------------------------------
+    # topology of the record's position on the path
+    # ------------------------------------------------------------------
+    @property
+    def is_source(self) -> bool:
+        return self._index == 0
+
+    @property
+    def is_destination(self) -> bool:
+        return self._index == len(self.path.nodes) - 1
+
+    @property
+    def is_endpoint(self) -> bool:
+        return self.is_source or self.is_destination
+
+    @property
+    def upstream(self) -> "NodeId | None":
+        """Previous node along the channel direction, if any."""
+        if self.is_source:
+            return None
+        return self.path.nodes[self._index - 1]
+
+    @property
+    def downstream(self) -> "NodeId | None":
+        """Next node along the channel direction, if any."""
+        if self.is_destination:
+            return None
+        return self.path.nodes[self._index + 1]
+
+    # ------------------------------------------------------------------
+    # state machine
+    # ------------------------------------------------------------------
+    def transition(self, target: LocalChannelState) -> None:
+        """Move to ``target``; raises :class:`IllegalTransitionError` for
+        transitions outside Fig. 4."""
+        if target not in _ALLOWED[self.state]:
+            raise IllegalTransitionError(
+                self.channel_id, self.node, self.state, target
+            )
+        self.state = target
+        if target is not LocalChannelState.UNHEALTHY:
+            self.reported.clear()
+
+    def can_transition(self, target: LocalChannelState) -> bool:
+        """Whether Fig. 4 permits moving to ``target`` from here."""
+        return target in _ALLOWED[self.state]

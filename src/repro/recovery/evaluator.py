@@ -1,0 +1,267 @@
+"""Scenario-based recovery evaluation.
+
+For each failure scenario the evaluator replays the *outcome* of the BCP
+recovery procedure in the steady state:
+
+1. the scenario's failed components disable every channel whose path
+   touches them;
+2. connections whose end-nodes crashed are excluded (Section 7.2);
+3. every other connection with a failed primary attempts activation, in
+   **priority order** — ascending multiplexing degree, the paper's
+   priority-based activation (Section 4.3: backups with smaller ν are
+   higher priority and draw spare first);
+4. a connection tries its backups in serial order (Section 4.2); a backup
+   activates iff its path is fully healthy and every link of it can supply
+   the channel's bandwidth from the remaining spare pool; draws persist
+   within the scenario, so later activations can suffer *multiplexing
+   failures* (Section 3.3).
+
+The evaluation works on a scratch copy of the spare pools, so a network
+can be evaluated against thousands of scenarios without re-establishment.
+An optional uniform spare override implements the brute-force baseline of
+Section 7.4.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.channels.channel import Channel
+from repro.core.bcp import BCPNetwork
+from repro.core.dconnection import DConnection
+from repro.faults.models import FailureScenario
+from repro.network.components import LinkId
+from repro.recovery.metrics import RecoveryStats
+from repro.util.rng import make_rng
+
+
+class ActivationOrder(enum.Enum):
+    """Order in which contending connections draw spare resources."""
+
+    #: Ascending multiplexing degree (paper's priority-based activation).
+    PRIORITY = "priority"
+    #: Establishment order (connection id) — no prioritisation.
+    CONNECTION_ID = "connection_id"
+    #: Uniformly random — models unsynchronised activation races.
+    RANDOM = "random"
+
+
+class ConnectionOutcome(enum.Enum):
+    """Per-connection result within one scenario."""
+
+    FAST_RECOVERED = "fast_recovered"
+    MUX_FAILURE = "mux_failure"
+    CHANNELS_LOST = "channels_lost"
+    EXCLUDED = "excluded"
+    UNAFFECTED = "unaffected"
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one failure scenario."""
+
+    scenario: FailureScenario
+    outcomes: dict[int, ConnectionOutcome] = field(default_factory=dict)
+    #: connection id -> serial of the backup that took over.
+    activated_serial: dict[int, int] = field(default_factory=dict)
+
+    def count(self, outcome: ConnectionOutcome) -> int:
+        """Number of connections with the given outcome."""
+        return sum(1 for value in self.outcomes.values() if value is outcome)
+
+    @property
+    def failed_primaries(self) -> int:
+        """Connections whose primary failed and whose endpoints survived."""
+        return sum(
+            1
+            for value in self.outcomes.values()
+            if value
+            in (
+                ConnectionOutcome.FAST_RECOVERED,
+                ConnectionOutcome.MUX_FAILURE,
+                ConnectionOutcome.CHANNELS_LOST,
+            )
+        )
+
+    @property
+    def r_fast(self) -> float | None:
+        failed = self.failed_primaries
+        if failed == 0:
+            return None
+        return self.count(ConnectionOutcome.FAST_RECOVERED) / failed
+
+
+class RecoveryEvaluator:
+    """Evaluates failure scenarios against a loaded BCP network.
+
+    Parameters
+    ----------
+    network:
+        The loaded :class:`~repro.core.bcp.BCPNetwork` (not mutated).
+    order:
+        Activation order among contending connections.
+    spare_override:
+        Per-link spare pools replacing the network's own — either a mapping
+        (missing links get 0) or a single float applied to every link.
+        This is how the brute-force baseline of Section 7.4 is evaluated.
+    free_capacity_fallback:
+        If ``True``, an activation short on spare may draw the shortfall
+        from the link's *free* (unreserved) capacity.  The paper draws from
+        spare only; the fallback is an ablation knob.
+    seed:
+        RNG seed for ``ActivationOrder.RANDOM``.
+    """
+
+    def __init__(
+        self,
+        network: BCPNetwork,
+        order: ActivationOrder = ActivationOrder.PRIORITY,
+        spare_override: "Mapping[LinkId, float] | float | None" = None,
+        free_capacity_fallback: bool = False,
+        seed: "int | None" = 0,
+    ) -> None:
+        self.network = network
+        self.order = order
+        self.free_capacity_fallback = free_capacity_fallback
+        self._rng = make_rng(seed)
+        self._base_spares = self._resolve_spares(spare_override)
+        # Free capacity per link, fixed at construction (fallback mode).
+        self._base_free = {
+            link: network.ledger.free(link) for link in network.topology.links()
+        }
+
+    def _resolve_spares(
+        self, override: "Mapping[LinkId, float] | float | None"
+    ) -> dict[LinkId, float]:
+        topology = self.network.topology
+        if override is None:
+            return self.network.ledger.snapshot_spares()
+        if isinstance(override, (int, float)):
+            # A uniform pool cannot exceed what the link can actually hold.
+            return {
+                link: min(
+                    float(override),
+                    topology.capacity(link)
+                    - self.network.ledger.primary_reserved(link),
+                )
+                for link in topology.links()
+            }
+        return {link: float(override.get(link, 0.0)) for link in topology.links()}
+
+    # ------------------------------------------------------------------
+    def evaluate(self, scenario: FailureScenario) -> ScenarioResult:
+        """Replay one scenario; the network itself is untouched."""
+        network = self.network
+        failed_components = scenario.components(network.topology)
+        affected_ids = network.registry.affected_by(failed_components)
+        result = ScenarioResult(scenario=scenario)
+        if not affected_ids:
+            return result
+
+        # Group affected channels by connection and classify.
+        contenders: list[DConnection] = []
+        for connection in network.connections():
+            if scenario.hits_endpoint(connection.source, connection.destination):
+                if any(
+                    channel.channel_id in affected_ids
+                    for channel in connection.channels
+                ):
+                    result.outcomes[connection.connection_id] = (
+                        ConnectionOutcome.EXCLUDED
+                    )
+                continue
+            if connection.primary.channel_id in affected_ids:
+                contenders.append(connection)
+            # A failed backup alone does not disrupt service; it is handled
+            # by resource reconfiguration, not by this evaluator.
+
+        pools: dict[LinkId, float] = {}
+        free: dict[LinkId, float] = {}
+        for connection in self._ordered(contenders):
+            outcome = self._try_activate(
+                connection, failed_components, pools, free, result
+            )
+            result.outcomes[connection.connection_id] = outcome
+        return result
+
+    def evaluate_many(self, scenarios: Iterable[FailureScenario]) -> RecoveryStats:
+        """Aggregate :class:`RecoveryStats` over a scenario set."""
+        stats = RecoveryStats()
+        for scenario in scenarios:
+            result = self.evaluate(scenario)
+            stats.add_scenario(
+                failed_primaries=result.failed_primaries,
+                fast_recovered=result.count(ConnectionOutcome.FAST_RECOVERED),
+                mux_failures=result.count(ConnectionOutcome.MUX_FAILURE),
+                channels_lost=result.count(ConnectionOutcome.CHANNELS_LOST),
+                excluded_connections=result.count(ConnectionOutcome.EXCLUDED),
+            )
+        return stats
+
+    # ------------------------------------------------------------------
+    def _ordered(self, contenders: Sequence[DConnection]) -> list[DConnection]:
+        if self.order is ActivationOrder.PRIORITY:
+            return sorted(
+                contenders,
+                key=lambda conn: (conn.mux_degree, conn.connection_id),
+            )
+        if self.order is ActivationOrder.CONNECTION_ID:
+            return sorted(contenders, key=lambda conn: conn.connection_id)
+        shuffled = list(contenders)
+        self._rng.shuffle(shuffled)
+        return shuffled
+
+    def _try_activate(
+        self,
+        connection: DConnection,
+        failed_components: frozenset,
+        pools: dict[LinkId, float],
+        free: dict[LinkId, float],
+        result: ScenarioResult,
+    ) -> ConnectionOutcome:
+        bandwidth = connection.traffic.bandwidth
+        saw_healthy_backup = False
+        for backup in connection.backups_in_serial_order():
+            if backup.fails_under(failed_components):
+                continue
+            saw_healthy_backup = True
+            if self._draw(backup, bandwidth, pools, free):
+                result.activated_serial[connection.connection_id] = backup.serial
+                return ConnectionOutcome.FAST_RECOVERED
+        if saw_healthy_backup:
+            return ConnectionOutcome.MUX_FAILURE
+        return ConnectionOutcome.CHANNELS_LOST
+
+    def _draw(
+        self,
+        backup: Channel,
+        bandwidth: float,
+        pools: dict[LinkId, float],
+        free: dict[LinkId, float],
+    ) -> bool:
+        """Atomically draw ``bandwidth`` on every link of ``backup``.
+
+        ``pools``/``free`` hold the scenario-local remaining amounts,
+        lazily seeded from the construction-time snapshots.
+        """
+        links = backup.path.links
+        for link in links:
+            available = pools.setdefault(link, self._base_spares.get(link, 0.0))
+            if available + 1e-9 < bandwidth:
+                if not self.free_capacity_fallback:
+                    return False
+                spill = bandwidth - available
+                free_here = free.setdefault(link, self._base_free.get(link, 0.0))
+                if free_here + 1e-9 < spill:
+                    return False
+        for link in links:
+            remaining = pools[link] - bandwidth
+            if remaining < -1e-9:
+                # Fallback mode: the shortfall was checked (and `free`
+                # seeded) in the first pass; draw the rest from there.
+                free[link] += remaining
+                remaining = 0.0
+            pools[link] = max(0.0, remaining)  # absorb float round-off
+        return True

@@ -1,0 +1,100 @@
+"""Aggregated recovery statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RecoveryStats:
+    """Counters aggregated over one or more failure scenarios.
+
+    ``failed_primaries`` counts D-connections whose primary was disabled
+    and whose end-nodes survived (the paper's denominator); the remaining
+    counters partition it:
+
+    * ``fast_recovered`` — switched to a healthy backup with sufficient
+      spare (the paper's numerator),
+    * ``mux_failures`` — a healthy backup existed but some spare pool was
+      exhausted (a *multiplexing failure*, Section 3.3),
+    * ``channels_lost`` — every backup was disabled by the same scenario,
+    * no backups at all also lands in ``channels_lost`` (a connection with
+      zero backups can never recover fast).
+    """
+
+    scenarios: int = 0
+    failed_primaries: int = 0
+    fast_recovered: int = 0
+    mux_failures: int = 0
+    channels_lost: int = 0
+    excluded_connections: int = 0
+    #: Sum over scenarios of each scenario's own R_fast (for mean-of-ratios).
+    _r_fast_sum: float = field(default=0.0, repr=False)
+    _r_fast_scenarios: int = field(default=0, repr=False)
+
+    # ------------------------------------------------------------------
+    def add_scenario(
+        self,
+        failed_primaries: int,
+        fast_recovered: int,
+        mux_failures: int,
+        channels_lost: int,
+        excluded_connections: int,
+    ) -> None:
+        """Fold one scenario's counts in."""
+        if fast_recovered + mux_failures + channels_lost != failed_primaries:
+            raise ValueError(
+                "scenario counts do not partition failed_primaries: "
+                f"{fast_recovered}+{mux_failures}+{channels_lost} != "
+                f"{failed_primaries}"
+            )
+        self.scenarios += 1
+        self.failed_primaries += failed_primaries
+        self.fast_recovered += fast_recovered
+        self.mux_failures += mux_failures
+        self.channels_lost += channels_lost
+        self.excluded_connections += excluded_connections
+        if failed_primaries > 0:
+            self._r_fast_sum += fast_recovered / failed_primaries
+            self._r_fast_scenarios += 1
+
+    def merge(self, other: "RecoveryStats") -> "RecoveryStats":
+        """Combine with another stats object (parallel sweeps)."""
+        merged = RecoveryStats(
+            scenarios=self.scenarios + other.scenarios,
+            failed_primaries=self.failed_primaries + other.failed_primaries,
+            fast_recovered=self.fast_recovered + other.fast_recovered,
+            mux_failures=self.mux_failures + other.mux_failures,
+            channels_lost=self.channels_lost + other.channels_lost,
+            excluded_connections=(
+                self.excluded_connections + other.excluded_connections
+            ),
+        )
+        merged._r_fast_sum = self._r_fast_sum + other._r_fast_sum
+        merged._r_fast_scenarios = self._r_fast_scenarios + other._r_fast_scenarios
+        return merged
+
+    # ------------------------------------------------------------------
+    @property
+    def r_fast(self) -> float | None:
+        """Ratio of fast recoveries to failed primaries, pooled over all
+        scenarios (the paper's R_fast).  ``None`` when nothing failed."""
+        if self.failed_primaries == 0:
+            return None
+        return self.fast_recovered / self.failed_primaries
+
+    @property
+    def r_fast_mean_of_scenarios(self) -> float | None:
+        """Mean of per-scenario R_fast values — an alternative aggregation
+        that weights scenarios equally regardless of blast radius."""
+        if self._r_fast_scenarios == 0:
+            return None
+        return self._r_fast_sum / self._r_fast_scenarios
+
+    @property
+    def mean_failed_primaries(self) -> float:
+        """Average number of primaries disabled per scenario (the paper
+        quotes these: ~64 per link failure in the torus, etc.)."""
+        if self.scenarios == 0:
+            return 0.0
+        return self.failed_primaries / self.scenarios

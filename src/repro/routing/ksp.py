@@ -1,0 +1,111 @@
+"""Yen's k-shortest loopless paths.
+
+Used by the cost-biased backup-routing ablation (the [HAN97b] direction)
+to enumerate candidate backup routes, and generally useful as a routing
+substrate.  Operates under the same :class:`RouteConstraints` as the other
+searches, so candidates are always feasible paths.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterator
+
+from repro.network.components import NodeId
+from repro.network.topology import Topology
+from repro.routing.paths import Path
+from repro.routing.shortest import (
+    LinkCost,
+    NoPathError,
+    RouteConstraints,
+    shortest_path,
+)
+
+
+def _path_cost(path: Path, cost: LinkCost | None) -> float:
+    if cost is None:
+        return float(path.hops)
+    return sum(cost(link) for link in path.links)
+
+
+def k_shortest_paths(
+    topology: Topology,
+    src: NodeId,
+    dst: NodeId,
+    k: int,
+    constraints: RouteConstraints | None = None,
+    cost: LinkCost | None = None,
+) -> list[Path]:
+    """Up to ``k`` loopless shortest paths in non-decreasing cost order.
+
+    Returns fewer than ``k`` paths when the graph does not contain ``k``
+    distinct feasible paths; returns an empty list when there is none.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    base = constraints or RouteConstraints()
+    try:
+        first = shortest_path(topology, src, dst, base, cost)
+    except NoPathError:
+        return []
+
+    accepted: list[Path] = [first]
+    # Candidate heap entries: (cost, tie-break counter, path).
+    candidates: list[tuple[float, int, Path]] = []
+    seen_candidates: set[Path] = {first}
+    counter = 0
+
+    while len(accepted) < k:
+        previous = accepted[-1]
+        for spur_index in range(previous.hops):
+            spur_node = previous.nodes[spur_index]
+            root_nodes = previous.nodes[: spur_index + 1]
+
+            # Edges leaving the spur node along any accepted path sharing
+            # this root are banned, as are the root's interior nodes.
+            banned_links = set(base.excluded_links)
+            for path in accepted:
+                if path.nodes[: spur_index + 1] == root_nodes:
+                    banned_links.add(path.links[spur_index])
+            banned_nodes = set(base.excluded_nodes) | set(root_nodes[:-1])
+
+            remaining_hops = None
+            if base.max_hops is not None:
+                remaining_hops = base.max_hops - spur_index
+                if remaining_hops < 1:
+                    continue
+            spur_constraints = RouteConstraints(
+                excluded_nodes=frozenset(banned_nodes),
+                excluded_links=frozenset(banned_links),
+                link_admissible=base.link_admissible,
+                max_hops=remaining_hops,
+            )
+            try:
+                spur = shortest_path(topology, spur_node, dst, spur_constraints, cost)
+            except NoPathError:
+                continue
+            total = Path(root_nodes[:-1] + spur.nodes)
+            if total in seen_candidates:
+                continue
+            seen_candidates.add(total)
+            counter += 1
+            heapq.heappush(
+                candidates, (_path_cost(total, cost), counter, total)
+            )
+        if not candidates:
+            break
+        _, _, best = heapq.heappop(candidates)
+        accepted.append(best)
+    return accepted
+
+
+def iter_shortest_paths(
+    topology: Topology,
+    src: NodeId,
+    dst: NodeId,
+    constraints: RouteConstraints | None = None,
+    cost: LinkCost | None = None,
+    limit: int = 64,
+) -> Iterator[Path]:
+    """Lazy wrapper over :func:`k_shortest_paths` with a safety ``limit``."""
+    yield from k_shortest_paths(topology, src, dst, limit, constraints, cost)

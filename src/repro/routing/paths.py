@@ -1,0 +1,145 @@
+"""Path objects.
+
+A :class:`Path` is an immutable node sequence with cached derived views:
+the simplex links it traverses and its *component set* — the nodes and
+links whose failure disables it.  Component sets drive both the overlap
+computation ``sc(M_i, M_j)`` of backup multiplexing (Section 3.2) and the
+failure-impact queries of the recovery evaluator.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from functools import cached_property
+
+from repro.network.components import LinkId, NodeId
+from repro.network.topology import Topology
+
+
+class Path:
+    """An immutable simple path through a network.
+
+    Parameters
+    ----------
+    nodes:
+        The node sequence, source first.  Must contain at least two distinct
+        nodes and no repeats (real-time channels are simple virtual circuits).
+    """
+
+    __slots__ = ("_nodes", "__dict__")
+
+    def __init__(self, nodes: Sequence[NodeId]) -> None:
+        node_tuple = tuple(nodes)
+        if len(node_tuple) < 2:
+            raise ValueError(f"a path needs at least 2 nodes, got {node_tuple!r}")
+        if len(set(node_tuple)) != len(node_tuple):
+            raise ValueError(f"path contains repeated nodes: {node_tuple!r}")
+        self._nodes = node_tuple
+
+    # ------------------------------------------------------------------
+    # basic views
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> tuple[NodeId, ...]:
+        """The node sequence, source first."""
+        return self._nodes
+
+    @property
+    def source(self) -> NodeId:
+        return self._nodes[0]
+
+    @property
+    def destination(self) -> NodeId:
+        return self._nodes[-1]
+
+    @property
+    def hops(self) -> int:
+        """Number of links traversed."""
+        return len(self._nodes) - 1
+
+    @cached_property
+    def links(self) -> tuple[LinkId, ...]:
+        """The simplex links traversed, in order."""
+        return tuple(
+            LinkId(src, dst) for src, dst in zip(self._nodes, self._nodes[1:])
+        )
+
+    @property
+    def interior_nodes(self) -> tuple[NodeId, ...]:
+        """Nodes strictly between source and destination."""
+        return self._nodes[1:-1]
+
+    # ------------------------------------------------------------------
+    # component sets
+    # ------------------------------------------------------------------
+    @cached_property
+    def components(self) -> frozenset:
+        """All components of the path: every node (endpoints included) and
+        every link.  This is the paper's literal component count ``c(M)``."""
+        return frozenset(self._nodes) | frozenset(self.links)
+
+    @cached_property
+    def transit_components(self) -> frozenset:
+        """Components excluding the endpoint nodes.
+
+        A failure of an endpoint makes the connection unrecoverable by any
+        protocol, so the evaluation excludes such connections (Section 7.2);
+        this set answers "does this *recoverable* failure hit the path?".
+        """
+        return frozenset(self.interior_nodes) | frozenset(self.links)
+
+    def component_count(self, count_endpoints: bool = True) -> int:
+        """``c(M)`` — the number of failure-prone components of the path."""
+        source = self.components if count_endpoints else self.transit_components
+        return len(source)
+
+    def uses(self, component: "NodeId | LinkId") -> bool:
+        """Whether the path traverses the given node or link."""
+        return component in self.components
+
+    def intersects(self, components: frozenset | set) -> bool:
+        """Whether any of ``components`` lies on this path."""
+        # Iterate the smaller set for speed; failure sets are tiny.
+        if len(components) <= len(self.components):
+            return any(item in self.components for item in components)
+        return any(item in components for item in self.components)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self, topology: Topology) -> "Path":
+        """Check every hop exists in ``topology``; returns ``self``."""
+        for link in self.links:
+            if not topology.has_link(link.src, link.dst):
+                raise ValueError(
+                    f"path uses non-existent link {link} in {topology.name}"
+                )
+        return self
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.hops
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._nodes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Path):
+            return NotImplemented
+        return self._nodes == other._nodes
+
+    def __hash__(self) -> int:
+        return hash(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Path({' -> '.join(str(node) for node in self._nodes)})"
+
+
+def shared_component_count(path_a: Path, path_b: Path,
+                           count_endpoints: bool = True) -> int:
+    """``sc(M_i, M_j)`` — components common to both paths (Section 3.2)."""
+    if count_endpoints:
+        return len(path_a.components & path_b.components)
+    return len(path_a.transit_components & path_b.transit_components)

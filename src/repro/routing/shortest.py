@@ -1,0 +1,188 @@
+"""Constrained shortest-path search.
+
+Channels are routed over *feasible* shortest paths: links must pass an
+admission predicate (enough free bandwidth), certain components may be
+excluded (a backup avoids its primary's components), and the total length
+must respect the delay QoS (at most ``shortest + slack`` hops, Section 7).
+
+Hop-count search uses BFS; an optional per-link cost function switches to
+Dijkstra, which the cost-biased backup-routing ablation uses.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.network.components import LinkId, NodeId
+from repro.network.topology import Topology
+from repro.routing.paths import Path
+
+LinkPredicate = Callable[[LinkId], bool]
+LinkCost = Callable[[LinkId], float]
+
+
+class NoPathError(Exception):
+    """Raised when no feasible path exists under the given constraints."""
+
+    def __init__(self, src: NodeId, dst: NodeId, reason: str = "") -> None:
+        detail = f" ({reason})" if reason else ""
+        super().__init__(f"no feasible path from {src!r} to {dst!r}{detail}")
+        self.src = src
+        self.dst = dst
+
+
+@dataclass(frozen=True)
+class RouteConstraints:
+    """Constraints applied during path search.
+
+    Attributes
+    ----------
+    excluded_nodes / excluded_links:
+        Components the path must avoid (used for disjoint backup routing and
+        for routing around failures).  Excluding the source or destination
+        makes every search fail, by design.
+    link_admissible:
+        Per-link predicate; links failing it are skipped.  Establishment
+        passes a closure over the reservation ledger here.
+    max_hops:
+        Inclusive upper bound on path length, or ``None`` for unbounded.
+        The paper's delay QoS translates to ``shortest_possible + 2``.
+    """
+
+    excluded_nodes: frozenset = field(default_factory=frozenset)
+    excluded_links: frozenset = field(default_factory=frozenset)
+    link_admissible: LinkPredicate | None = None
+    max_hops: int | None = None
+
+    def allows_link(self, link: LinkId) -> bool:
+        """Whether the search may traverse ``link``."""
+        if link in self.excluded_links:
+            return False
+        if link.dst in self.excluded_nodes:
+            return False
+        if self.link_admissible is not None and not self.link_admissible(link):
+            return False
+        return True
+
+    def allows_source(self, node: NodeId) -> bool:
+        """Whether the search may start at ``node``."""
+        return node not in self.excluded_nodes
+
+
+def hop_distance(topology: Topology, src: NodeId, dst: NodeId) -> int:
+    """Unconstrained hop count of the shortest path from ``src`` to ``dst``.
+
+    This is the paper's "shortest-possible path" length used as the baseline
+    of the delay QoS.  Raises :class:`NoPathError` if ``dst`` is unreachable.
+    """
+    if src == dst:
+        return 0
+    seen = {src}
+    frontier = deque([(src, 0)])
+    while frontier:
+        node, dist = frontier.popleft()
+        for neighbour in topology.successors(node):
+            if neighbour == dst:
+                return dist + 1
+            if neighbour not in seen:
+                seen.add(neighbour)
+                frontier.append((neighbour, dist + 1))
+    raise NoPathError(src, dst, "disconnected")
+
+
+def shortest_path(
+    topology: Topology,
+    src: NodeId,
+    dst: NodeId,
+    constraints: RouteConstraints | None = None,
+    cost: LinkCost | None = None,
+) -> Path:
+    """Shortest feasible path from ``src`` to ``dst``.
+
+    With ``cost=None`` the metric is hop count (BFS).  With a cost function
+    the metric is total link cost (Dijkstra) and ``max_hops`` still bounds
+    the *hop* count, so a cost-biased route cannot violate the delay QoS.
+
+    Ties are broken deterministically by node insertion order, making whole
+    experiments reproducible without a seed.
+    """
+    constraints = constraints or RouteConstraints()
+    if src == dst:
+        raise ValueError(f"source and destination are both {src!r}")
+    if not topology.has_node(src) or not topology.has_node(dst):
+        raise NoPathError(src, dst, "unknown endpoint")
+    if not constraints.allows_source(src) or dst in constraints.excluded_nodes:
+        raise NoPathError(src, dst, "endpoint excluded")
+    if cost is None:
+        return _bfs(topology, src, dst, constraints)
+    return _dijkstra(topology, src, dst, constraints, cost)
+
+
+def _bfs(topology: Topology, src: NodeId, dst: NodeId,
+         constraints: RouteConstraints) -> Path:
+    parent: dict[NodeId, NodeId] = {src: src}
+    frontier = deque([(src, 0)])
+    max_hops = constraints.max_hops
+    while frontier:
+        node, dist = frontier.popleft()
+        if max_hops is not None and dist >= max_hops:
+            continue
+        for neighbour in topology.successors(node):
+            if neighbour in parent:
+                continue
+            if not constraints.allows_link(topology.link(node, neighbour)):
+                continue
+            parent[neighbour] = node
+            if neighbour == dst:
+                return _reconstruct(parent, src, dst)
+            frontier.append((neighbour, dist + 1))
+    raise NoPathError(src, dst, "constraints unsatisfiable")
+
+
+def _dijkstra(topology: Topology, src: NodeId, dst: NodeId,
+              constraints: RouteConstraints, cost: LinkCost) -> Path:
+    # Heap entries carry a monotone counter so ties never compare node ids.
+    counter = 0
+    best: dict[NodeId, float] = {src: 0.0}
+    parent: dict[NodeId, NodeId] = {src: src}
+    hops: dict[NodeId, int] = {src: 0}
+    heap: list[tuple[float, int, NodeId]] = [(0.0, counter, src)]
+    done: set[NodeId] = set()
+    max_hops = constraints.max_hops
+    while heap:
+        dist, _, node = heapq.heappop(heap)
+        if node in done:
+            continue
+        if node == dst:
+            return _reconstruct(parent, src, dst)
+        done.add(node)
+        if max_hops is not None and hops[node] >= max_hops:
+            continue
+        for neighbour in topology.successors(node):
+            if neighbour in done:
+                continue
+            link = topology.link(node, neighbour)
+            if not constraints.allows_link(link):
+                continue
+            link_cost = cost(link)
+            if link_cost < 0:
+                raise ValueError(f"negative link cost {link_cost!r} on {link}")
+            candidate = dist + link_cost
+            if candidate < best.get(neighbour, float("inf")):
+                best[neighbour] = candidate
+                parent[neighbour] = node
+                hops[neighbour] = hops[node] + 1
+                counter += 1
+                heapq.heappush(heap, (candidate, counter, neighbour))
+    raise NoPathError(src, dst, "constraints unsatisfiable")
+
+
+def _reconstruct(parent: dict[NodeId, NodeId], src: NodeId, dst: NodeId) -> Path:
+    nodes = [dst]
+    while nodes[-1] != src:
+        nodes.append(parent[nodes[-1]])
+    nodes.reverse()
+    return Path(nodes)

@@ -1,0 +1,92 @@
+"""Timer helpers over the event engine.
+
+:class:`Timeout` models one-shot, restartable timers (retransmission and
+rejoin timers in the BCP runtime); :class:`PeriodicTimer` models fixed-rate
+recurring work (the RCC eligibility clock).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.sim.engine import EventEngine, EventHandle
+from repro.util.validation import check_positive
+
+
+class Timeout:
+    """A one-shot timer that can be restarted or cancelled.
+
+    The callback fires once, ``duration`` after the most recent
+    :meth:`start`.  Starting a running timer restarts it.
+    """
+
+    def __init__(
+        self, engine: EventEngine, duration: float, callback: Callable[[], None]
+    ) -> None:
+        check_positive(duration, "duration")
+        self._engine = engine
+        self.duration = duration
+        self._callback = callback
+        self._handle: EventHandle | None = None
+
+    @property
+    def running(self) -> bool:
+        return self._handle is not None and self._handle.active
+
+    def start(self) -> None:
+        """(Re)arm the timer for ``duration`` from now."""
+        self.cancel()
+        self._handle = self._engine.schedule(self.duration, self._fire)
+
+    def cancel(self) -> None:
+        """Disarm without firing; safe to call when not running."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._callback()
+
+
+class PeriodicTimer:
+    """A fixed-period recurring timer.
+
+    The callback fires every ``period`` until :meth:`stop`.  The first
+    firing happens one period after :meth:`start` (or at a given phase).
+    """
+
+    def __init__(
+        self, engine: EventEngine, period: float, callback: Callable[[], None]
+    ) -> None:
+        check_positive(period, "period")
+        self._engine = engine
+        self.period = period
+        self._callback = callback
+        self._handle: EventHandle | None = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self, phase: float | None = None) -> None:
+        """Begin firing; the first tick comes after ``phase`` (default: one
+        full period)."""
+        self.stop()
+        self._running = True
+        delay = self.period if phase is None else phase
+        self._handle = self._engine.schedule(delay, self._tick)
+
+    def stop(self) -> None:
+        """Stop firing; safe to call when not running."""
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _tick(self) -> None:
+        if not self._running:  # pragma: no cover - stop() cancels the event
+            return
+        self._handle = self._engine.schedule(self.period, self._tick)
+        self._callback()

@@ -1,0 +1,87 @@
+"""Structured event tracing for simulations.
+
+A :class:`TraceLog` collects timestamped, categorised events.  The
+protocol runtime records every externally meaningful action (detections,
+reports, activations, rejoins, preemptions) when tracing is enabled,
+which makes protocol runs debuggable and lets tests assert on causal
+orderings rather than only on end states.
+
+Tracing is off by default; a disabled log's :meth:`record` is a cheap
+no-op so instrumented code needs no guards.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One recorded event."""
+
+    time: float
+    category: str
+    node: object
+    description: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.time:10.3f}] {self.category:<12} @{self.node}: " \
+               f"{self.description}"
+
+
+@dataclass
+class TraceLog:
+    """An append-only, filterable event log."""
+
+    enabled: bool = True
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, time: float, category: str, node: object,
+               description: str) -> None:
+        """Append an event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.events.append(TraceEvent(time, category, node, description))
+
+    # ------------------------------------------------------------------
+    def filter(
+        self,
+        category: "str | None" = None,
+        node: object = None,
+        since: "float | None" = None,
+        until: "float | None" = None,
+    ) -> list[TraceEvent]:
+        """Events matching all given criteria, in recording order."""
+        selected: Iterable[TraceEvent] = self.events
+        if category is not None:
+            selected = (e for e in selected if e.category == category)
+        if node is not None:
+            selected = (e for e in selected if e.node == node)
+        if since is not None:
+            selected = (e for e in selected if e.time >= since)
+        if until is not None:
+            selected = (e for e in selected if e.time <= until)
+        return list(selected)
+
+    def categories(self) -> dict[str, int]:
+        """Event counts per category."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.category] = counts.get(event.category, 0) + 1
+        return counts
+
+    def format(self, limit: "int | None" = None) -> str:
+        """Human-readable timeline (optionally the first ``limit`` rows)."""
+        rows = self.events if limit is None else self.events[:limit]
+        lines = [
+            f"[{event.time:10.3f}] {event.category:<12} "
+            f"@{event.node}: {event.description}"
+            for event in rows
+        ]
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... ({len(self.events) - limit} more)")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,36 @@
+"""Deterministic random-number-generator helpers.
+
+Every stochastic component in the library accepts either a seed or a
+ready-made :class:`random.Random` instance, so whole experiments are
+reproducible from a single integer seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+RngLike = "random.Random | int | None"
+
+
+def make_rng(seed: "random.Random | int | None") -> random.Random:
+    """Return a ``random.Random`` from a seed, an existing RNG, or ``None``.
+
+    ``None`` yields an RNG seeded from system entropy; an ``int`` yields a
+    deterministic RNG; an existing ``random.Random`` is returned unchanged
+    (so callers can thread one RNG through a pipeline).
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def spawn_rngs(seed: "random.Random | int | None", count: int) -> list[random.Random]:
+    """Derive ``count`` independent child RNGs from one parent seed.
+
+    Children are seeded with distinct draws from the parent, so adding a new
+    consumer at the end never perturbs the streams of earlier consumers.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = make_rng(seed)
+    return [random.Random(parent.getrandbits(64)) for _ in range(count)]

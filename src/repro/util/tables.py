@@ -1,0 +1,50 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harnesses print the same rows as the paper's tables; this
+module keeps that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_percent(value: float | None, digits: int = 2) -> str:
+    """Format a fraction as a percentage string, or ``N/A`` for ``None``."""
+    if value is None:
+        return "N/A"
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Cells are stringified with ``str``; ``None`` renders as ``N/A``.
+    """
+    str_rows = [["N/A" if cell is None else str(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(separator))
+    lines.append(render_row(list(headers)))
+    lines.append(separator)
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)

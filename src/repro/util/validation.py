@@ -1,0 +1,35 @@
+"""Small argument-validation helpers used across the library.
+
+Each helper raises ``ValueError`` with a message naming the offending
+parameter, and returns the validated value so calls can be inlined.
+"""
+
+from __future__ import annotations
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Require ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Require ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Require ``0 < value <= 1`` (a non-zero fraction of a whole)."""
+    if not 0.0 < value <= 1.0:
+        raise ValueError(f"{name} must be a fraction in (0, 1], got {value!r}")
+    return value

@@ -1,0 +1,45 @@
+"""Shared fixtures: small networks and pre-loaded BCP instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BCPNetwork, FaultToleranceQoS, torus
+from repro.network.generators import line, mesh, ring
+
+
+@pytest.fixture
+def torus4() -> "BCPNetwork":
+    """An empty BCP network over a 4x4 torus (200 Mbps links)."""
+    return BCPNetwork(torus(4, 4, capacity=200.0))
+
+
+@pytest.fixture
+def loaded_torus4() -> "BCPNetwork":
+    """A 4x4 torus with all-pairs D-connections, single backup, mux=3."""
+    network = BCPNetwork(torus(4, 4, capacity=200.0))
+    qos = FaultToleranceQoS(num_backups=1, mux_degree=3)
+    for src in range(16):
+        for dst in range(16):
+            if src != dst:
+                network.establish(src, dst, ft_qos=qos)
+    return network
+
+
+@pytest.fixture
+def mesh3() -> "BCPNetwork":
+    """An empty BCP network over a 3x3 mesh."""
+    return BCPNetwork(mesh(3, 3, capacity=300.0))
+
+
+@pytest.fixture
+def ring6() -> "BCPNetwork":
+    """An empty BCP network over a 6-node ring (exactly two disjoint
+    paths between any node pair)."""
+    return BCPNetwork(ring(6, capacity=100.0))
+
+
+@pytest.fixture
+def line4() -> "BCPNetwork":
+    """A 4-node line — no disjoint backup paths exist at all."""
+    return BCPNetwork(line(4, capacity=100.0))

@@ -1,0 +1,123 @@
+"""Tests for the analytic models: Markov R(t), Γ bound, RCC sizing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BCPNetwork, FaultToleranceQoS, torus
+from repro.analysis import (
+    DConnectionMarkovModel,
+    connection_delay_bound,
+    recovery_delay_bound,
+    required_rcc_frame_messages,
+    simplified_markov_model,
+)
+from repro.core.reliability import pr_single_backup
+
+
+class TestMarkovModel:
+    def test_generator_rows_sum_to_zero(self):
+        model = DConnectionMarkovModel(0.02, 0.03, 0.005, repair_rate=1.0)
+        assert np.allclose(model.generator.sum(axis=1), 0.0)
+
+    def test_reliability_at_zero_is_one(self):
+        model = DConnectionMarkovModel(0.02, 0.03)
+        assert model.reliability(0.0) == pytest.approx(1.0)
+
+    def test_reliability_monotone_decreasing(self):
+        model = DConnectionMarkovModel(0.02, 0.03, 0.005, repair_rate=0.5)
+        curve = model.reliability_curve(np.linspace(0, 50, 20))
+        assert all(a >= b - 1e-12 for a, b in zip(curve, curve[1:]))
+
+    def test_repair_improves_reliability(self):
+        slow = DConnectionMarkovModel(0.02, 0.02, repair_rate=0.0)
+        fast = DConnectionMarkovModel(0.02, 0.02, repair_rate=5.0)
+        assert fast.reliability(30.0) > slow.reliability(30.0)
+
+    def test_shared_components_hurt(self):
+        disjoint = DConnectionMarkovModel(0.02, 0.02, shared_rate=0.0)
+        shared = DConnectionMarkovModel(0.02, 0.02, shared_rate=0.01)
+        assert shared.reliability(10.0) < disjoint.reliability(10.0)
+
+    def test_matches_combinatorial_for_small_lambda(self):
+        # Section 3.1's argument: for small λ and per-unit reset, the
+        # combinatorial P_r approximates R(1).
+        lam = 1e-5
+        c_primary, c_backup = 9, 11
+        model = DConnectionMarkovModel(c_primary * lam, c_backup * lam)
+        combinatorial = pr_single_backup(c_primary, c_backup, lam)
+        assert model.reliability(1.0) == pytest.approx(combinatorial, abs=1e-8)
+
+    def test_mttf_positive_and_scales(self):
+        short = DConnectionMarkovModel(0.1, 0.1).mean_time_to_failure()
+        long = DConnectionMarkovModel(0.01, 0.01).mean_time_to_failure()
+        assert 0 < short < long
+
+    def test_mttf_increases_with_repair(self):
+        without = DConnectionMarkovModel(0.05, 0.05).mean_time_to_failure()
+        with_repair = DConnectionMarkovModel(
+            0.05, 0.05, repair_rate=2.0
+        ).mean_time_to_failure()
+        assert with_repair > without
+
+    def test_simplified_model_is_symmetric_special_case(self):
+        simplified = simplified_markov_model(0.04, shared_rate=0.01)
+        general = DConnectionMarkovModel(0.04, 0.04, shared_rate=0.01)
+        assert simplified.reliability(7.0) == pytest.approx(
+            general.reliability(7.0)
+        )
+
+    def test_shared_rate_validation(self):
+        with pytest.raises(ValueError, match="shared_rate"):
+            DConnectionMarkovModel(0.01, 0.01, shared_rate=0.02)
+
+
+class TestDelayBound:
+    def test_paper_formula(self):
+        # (K-1)D + 2(b-1)(K-1)D with K=5, b=2, D=1: 4 + 8 = 12.
+        assert recovery_delay_bound(5, 2, 1.0) == pytest.approx(12.0)
+
+    def test_single_backup_is_reporting_delay_only(self):
+        assert recovery_delay_bound(5, 1, 2.0) == pytest.approx(8.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recovery_delay_bound(0, 1, 1.0)
+        with pytest.raises(ValueError):
+            recovery_delay_bound(5, 0, 1.0)
+        with pytest.raises(ValueError):
+            recovery_delay_bound(5, 1, 0.0)
+
+    def test_connection_bound_uses_longest_channel(self):
+        network = BCPNetwork(torus(4, 4))
+        connection = network.establish(
+            0, 5, ft_qos=FaultToleranceQoS(num_backups=1, mux_degree=1)
+        )
+        k = max(channel.path.hops for channel in connection.channels)
+        assert connection_delay_bound(connection, 1.0) == pytest.approx(
+            (k - 1) * 1.0
+        )
+
+
+class TestRCCSizingRule:
+    def test_counts_both_directions_of_a_pair(self):
+        network = BCPNetwork(torus(4, 4))
+        qos = FaultToleranceQoS(num_backups=0, mux_degree=0)
+        a = network.establish(0, 1, ft_qos=qos)   # uses link 0->1
+        b = network.establish(1, 0, ft_qos=qos)   # uses link 1->0
+        assert a.primary.path.hops == b.primary.path.hops == 1
+        assert required_rcc_frame_messages(network) == 2
+
+    def test_empty_network_needs_nothing(self):
+        network = BCPNetwork(torus(4, 4))
+        assert required_rcc_frame_messages(network) == 0
+
+    def test_monotone_in_load(self):
+        network = BCPNetwork(torus(4, 4))
+        qos = FaultToleranceQoS(num_backups=1, mux_degree=3)
+        sizes = []
+        for dst in (1, 2, 3, 5):
+            network.establish(0, dst, ft_qos=qos)
+            sizes.append(required_rcc_frame_messages(network))
+        assert sizes == sorted(sizes)

@@ -1,0 +1,188 @@
+"""Tests for the three baseline restoration schemes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BCPNetwork, FaultToleranceQoS, torus
+from repro.baselines import (
+    ReactiveOutcome,
+    brute_force_evaluator,
+    evaluate_reactive,
+    plan_local_detours,
+    uniform_spare_amount,
+)
+from repro.faults import FailureScenario, all_single_link_failures
+from repro.network.generators import line, ring
+from repro.recovery import RecoveryEvaluator
+
+
+def build_loaded(mux_degree=3, num_backups=1, size=4):
+    network = BCPNetwork(torus(size, size, capacity=200.0))
+    qos = FaultToleranceQoS(num_backups=num_backups, mux_degree=mux_degree)
+    nodes = size * size
+    for src in range(nodes):
+        for dst in range(nodes):
+            if src != dst:
+                network.establish(src, dst, ft_qos=qos)
+    return network
+
+
+class TestBruteForce:
+    def test_uniform_amount_is_average(self):
+        network = build_loaded()
+        amount = uniform_spare_amount(network)
+        assert amount == pytest.approx(
+            network.ledger.total_spare() / network.topology.num_links
+        )
+
+    def test_total_overhead_matches_proposed(self):
+        network = build_loaded()
+        evaluator = brute_force_evaluator(network)
+        total = sum(evaluator._base_spares.values())
+        # Same total spare budget (modulo per-link capacity caps, inactive
+        # at this load).
+        assert total == pytest.approx(network.ledger.total_spare(), rel=1e-6)
+
+    def test_empty_network_amount_zero(self):
+        network = BCPNetwork(torus(3, 3))
+        assert uniform_spare_amount(network) == 0.0
+
+    def test_bruteforce_weaker_or_equal_under_uniform_workload(self):
+        # On the homogeneous torus the two schemes should be close, with
+        # the proposed scheme at least as good under single link failures
+        # (where its placement is provably sufficient for mux<=3).
+        network = build_loaded(mux_degree=3)
+        scenarios = all_single_link_failures(network.topology)
+        proposed = RecoveryEvaluator(network).evaluate_many(scenarios)
+        brute = brute_force_evaluator(network).evaluate_many(scenarios)
+        assert proposed.r_fast == 1.0
+        assert brute.r_fast <= proposed.r_fast
+
+    def test_explicit_spare_override(self):
+        network = build_loaded()
+        evaluator = brute_force_evaluator(network, spare_per_link=0.0)
+        stats = evaluator.evaluate_many(
+            all_single_link_failures(network.topology)
+        )
+        assert stats.r_fast == 0.0
+
+
+class TestReactive:
+    def test_rerouting_succeeds_in_lightly_loaded_network(self):
+        network = BCPNetwork(torus(4, 4))
+        qos = FaultToleranceQoS(num_backups=0, mux_degree=0)
+        connection = network.establish(0, 5, ft_qos=qos)
+        scenario = FailureScenario.of_links([connection.primary.path.links[0]])
+        result = evaluate_reactive(network, scenario)
+        assert result.outcomes[connection.connection_id] is (
+            ReactiveOutcome.REROUTED
+        )
+        assert result.recovery_ratio == 1.0
+        assert result.new_hops[connection.connection_id] >= (
+            connection.primary.path.hops
+        )
+
+    def test_no_route_when_qos_unreachable(self):
+        # In a ring, failing a link leaves only the long way round, which
+        # violates the shortest+2 QoS for an adjacent pair.
+        network = BCPNetwork(ring(8, capacity=100.0))
+        qos = FaultToleranceQoS(num_backups=0, mux_degree=0)
+        connection = network.establish(0, 1, ft_qos=qos)
+        scenario = FailureScenario.of_links([connection.primary.path.links[0]])
+        result = evaluate_reactive(network, scenario)
+        assert result.outcomes[connection.connection_id] is (
+            ReactiveOutcome.NO_ROUTE
+        )
+
+    def test_contention_yields_no_capacity(self):
+        # A 4-node line with capacity 2: two 0->3 channels; failing the
+        # middle link leaves no alternative at all (line topology) ->
+        # NO_ROUTE; use a ring with tiny capacity for NO_CAPACITY instead.
+        network = BCPNetwork(ring(6, capacity=2.0))
+        qos = FaultToleranceQoS(num_backups=0, mux_degree=0)
+        first = network.establish(0, 3, ft_qos=qos)
+        second = network.establish(0, 3, ft_qos=qos)
+        # Both primaries share a path direction; fail its first link.  The
+        # only detour (the other way round the ring, 3 hops, within QoS
+        # slack 2... shortest 3 +2 = 5 >= 3) has capacity 2 but one unit is
+        # used by... ensure at least one connection fails for capacity.
+        scenario = FailureScenario.of_links([first.primary.path.links[0]])
+        result = evaluate_reactive(network, scenario)
+        outcomes = set(result.outcomes.values())
+        assert ReactiveOutcome.REROUTED in outcomes or (
+            ReactiveOutcome.NO_CAPACITY in outcomes
+        )
+
+    def test_endpoint_failures_excluded(self):
+        network = BCPNetwork(torus(4, 4))
+        qos = FaultToleranceQoS(num_backups=0, mux_degree=0)
+        connection = network.establish(0, 5, ft_qos=qos)
+        result = evaluate_reactive(network, FailureScenario.of_nodes([0]))
+        assert result.outcomes[connection.connection_id] is (
+            ReactiveOutcome.EXCLUDED
+        )
+        assert result.recovery_ratio is None
+
+    def test_network_not_mutated(self):
+        network = BCPNetwork(torus(4, 4))
+        qos = FaultToleranceQoS(num_backups=0, mux_degree=0)
+        connection = network.establish(0, 5, ft_qos=qos)
+        load = network.network_load()
+        evaluate_reactive(
+            network, FailureScenario.of_links([connection.primary.path.links[0]])
+        )
+        assert network.network_load() == load
+
+
+class TestLocalDetour:
+    def test_every_loaded_link_protected_in_torus(self):
+        network = build_loaded(num_backups=0, mux_degree=0)
+        plan = plan_local_detours(network)
+        assert plan.unprotected == []
+        assert plan.recovery_ratio_single_link(network) == 1.0
+
+    def test_detours_avoid_protected_link_both_directions(self):
+        network = build_loaded(num_backups=0, mux_degree=0)
+        plan = plan_local_detours(network)
+        for link, detour in plan.detours.items():
+            assert link not in detour.links
+            assert link.reversed() not in detour.links
+            assert detour.source == link.src
+            assert detour.destination == link.dst
+
+    def test_stretch_positive(self):
+        network = build_loaded(num_backups=0, mux_degree=0)
+        plan = plan_local_detours(network)
+        stretches = [plan.stretch(link) for link in plan.detours]
+        assert all(stretch >= 1 for stretch in stretches)
+
+    def test_spare_covers_worst_single_link(self):
+        network = build_loaded(num_backups=0, mux_degree=0)
+        plan = plan_local_detours(network)
+        # Pick any protected link; its detour links must each hold at
+        # least that link's demand.
+        for link, detour in list(plan.detours.items())[:10]:
+            demand = sum(
+                channel.bandwidth
+                for channel in network.registry.primaries_on_link(link)
+            )
+            for hop in detour.links:
+                assert plan.spare[hop] >= demand
+
+    def test_line_topology_is_unprotectable(self):
+        network = BCPNetwork(line(4, capacity=100.0))
+        qos = FaultToleranceQoS(num_backups=0, mux_degree=0)
+        network.establish(0, 3, ft_qos=qos)
+        plan = plan_local_detours(network)
+        assert len(plan.unprotected) > 0
+        assert plan.recovery_ratio_single_link(network) < 1.0
+
+    def test_detour_overhead_exceeds_bcp(self):
+        # The paper's critique: local detouring reserves substantially more
+        # than backup multiplexing at comparable coverage (single link
+        # failures, mux=3 -> both give 100%).
+        detour_net = build_loaded(num_backups=0, mux_degree=0)
+        plan = plan_local_detours(detour_net)
+        bcp_net = build_loaded(num_backups=1, mux_degree=3)
+        assert plan.spare_fraction > bcp_net.spare_fraction()

@@ -1,0 +1,94 @@
+"""Tests for the experiment CLI (small-scale invocations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SMALL = ["--rows", "4", "--cols", "4"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_degrees_parsing(self):
+        args = build_parser().parse_args(
+            ["table1", "--degrees", "1,3,6"] + SMALL
+        )
+        assert args.degrees == (1, 3, 6)
+
+    def test_bad_degrees_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--degrees", "a,b"])
+
+    def test_topology_choice_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--topology", "blimp"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1", "--degrees", "1,6", "--double-samples", "10"]
+                    + SMALL) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "mux=1" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2", "--classes", "1,6", "--double-samples", "10"]
+                    + SMALL) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_table3(self, capsys):
+        assert main(["table3", "--degrees", "3", "--double-samples", "10"]
+                    + SMALL) == 0
+        assert "brute-force" in capsys.readouterr().out
+
+    def test_figure9(self, capsys):
+        assert main(["figure9", "--degrees", "0,6", "--checkpoints", "3"]
+                    + SMALL) == 0
+        assert "Figure 9" in capsys.readouterr().out
+
+    def test_delay_bound(self, capsys):
+        assert main(["delay-bound", "--connections", "2"] + SMALL) == 0
+        assert "recovery delay" in capsys.readouterr().out
+
+    def test_rcc_sizing(self, capsys):
+        assert main(["rcc-sizing"] + SMALL) == 0
+        assert "RCC sizing" in capsys.readouterr().out
+
+    def test_reliability(self, capsys):
+        assert main(["reliability"] + SMALL) == 0
+        assert "Markov" in capsys.readouterr().out
+
+    def test_message_loss(self, capsys):
+        assert main(["message-loss", "--connections", "2"] + SMALL) == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+    def test_scaling(self, capsys):
+        assert main(["scaling", "--sizes", "3,4"]) == 0
+        out = capsys.readouterr().out
+        assert "Section 6" in out and "saving" in out
+
+    def test_baselines(self, capsys):
+        assert main(["baselines"] + SMALL) == 0
+        out = capsys.readouterr().out
+        assert "trade-offs" in out and "local detours" in out
+
+    def test_report(self, capsys, tmp_path):
+        target = tmp_path / "report.md"
+        assert main(["report", "--output", str(target),
+                     "--double-samples", "5"] + SMALL) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        text = target.read_text()
+        assert "# Reproduction report" in text
+        assert "Table 1" in text
+        assert "0 failures" in out
+
+    def test_mesh_topology(self, capsys):
+        assert main(["table1", "--topology", "mesh", "--degrees", "3",
+                     "--double-samples", "5"] + SMALL) == 0
+        assert "mesh" in capsys.readouterr().out

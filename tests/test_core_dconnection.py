@@ -1,0 +1,161 @@
+"""Tests for DConnection objects, heterogeneous S, and protocol config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ChannelRole,
+    ConnectionState,
+    DConnection,
+    DelayQoS,
+    FaultToleranceQoS,
+    TrafficSpec,
+)
+from repro.channels.channel import Channel
+from repro.core.overlap import (
+    simultaneous_activation_probability,
+    simultaneous_activation_probability_heterogeneous,
+)
+from repro.protocol.config import ProtocolConfig, RCCParams
+from repro.routing import Path
+
+
+def channel(cid, role, serial, nodes):
+    return Channel(
+        channel_id=cid,
+        connection_id=0,
+        role=role,
+        serial=serial,
+        path=Path(nodes),
+        traffic=TrafficSpec(),
+        mux_degree=3,
+    )
+
+
+def connection(num_backups=2):
+    primary = channel(0, ChannelRole.PRIMARY, 0, (1, 2, 3))
+    backups = [
+        channel(i + 1, ChannelRole.BACKUP, i + 1, (1, 10 + 3 * i, 3))
+        for i in range(num_backups)
+    ]
+    return DConnection(
+        connection_id=0,
+        source=1,
+        destination=3,
+        traffic=TrafficSpec(),
+        delay_qos=DelayQoS(),
+        ft_qos=FaultToleranceQoS(num_backups=num_backups, mux_degree=3),
+        primary=primary,
+        backups=backups,
+    )
+
+
+class TestDConnection:
+    def test_channels_order(self):
+        conn = connection()
+        serials = [c.serial for c in conn.channels]
+        assert serials == [0, 1, 2]
+
+    def test_backups_in_serial_order(self):
+        conn = connection()
+        conn.backups.reverse()  # scrambled storage order
+        assert [b.serial for b in conn.backups_in_serial_order()] == [1, 2]
+
+    def test_switch_to_backup(self):
+        conn = connection()
+        target = conn.backups[1]
+        old = conn.switch_to_backup(target)
+        assert old.serial == 0
+        assert conn.primary is target
+        assert conn.primary.is_primary
+        assert len(conn.backups) == 1
+        assert conn.state is ConnectionState.ACTIVE
+
+    def test_switch_to_foreign_channel_rejected(self):
+        conn = connection()
+        stranger = channel(99, ChannelRole.BACKUP, 9, (1, 20, 3))
+        with pytest.raises(ValueError, match="not a backup"):
+            conn.switch_to_backup(stranger)
+
+    def test_wrong_roles_rejected(self):
+        backup = channel(1, ChannelRole.BACKUP, 1, (1, 10, 3))
+        with pytest.raises(ValueError, match="PRIMARY"):
+            DConnection(
+                connection_id=0, source=1, destination=3,
+                traffic=TrafficSpec(), delay_qos=DelayQoS(),
+                ft_qos=FaultToleranceQoS(), primary=backup,
+            )
+
+    def test_mux_degree_reflects_qos(self):
+        assert connection().mux_degree == 3
+
+
+class TestHeterogeneousS:
+    def test_equal_rates_reduce_to_homogeneous(self):
+        lam = 1e-3
+        hetero = simultaneous_activation_probability_heterogeneous(
+            nodes_i=5, links_i=4, nodes_j=6, links_j=5,
+            shared_nodes=2, shared_links=1,
+            node_failure_probability=lam, link_failure_probability=lam,
+        )
+        homo = simultaneous_activation_probability(9, 11, 3, lam)
+        assert hetero == pytest.approx(homo)
+
+    def test_link_only_failures(self):
+        # With λ_node = 0, only link overlap matters.
+        s = simultaneous_activation_probability_heterogeneous(
+            5, 4, 6, 5, shared_nodes=2, shared_links=0,
+            node_failure_probability=0.0, link_failure_probability=1e-4,
+        )
+        # sc_links = 0 -> product form over link failures.
+        p_i = 1 - (1 - 1e-4) ** 4
+        p_j = 1 - (1 - 1e-4) ** 5
+        assert s == pytest.approx(p_i * p_j, rel=1e-6)
+
+    def test_node_heavy_rates_weight_shared_nodes(self):
+        heavy_nodes = simultaneous_activation_probability_heterogeneous(
+            5, 4, 6, 5, shared_nodes=2, shared_links=0,
+            node_failure_probability=1e-3, link_failure_probability=1e-6,
+        )
+        light_nodes = simultaneous_activation_probability_heterogeneous(
+            5, 4, 6, 5, shared_nodes=0, shared_links=0,
+            node_failure_probability=1e-3, link_failure_probability=1e-6,
+        )
+        assert heavy_nodes > light_nodes
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shared"):
+            simultaneous_activation_probability_heterogeneous(
+                2, 2, 2, 2, shared_nodes=3, shared_links=0,
+                node_failure_probability=0.1, link_failure_probability=0.1,
+            )
+        with pytest.raises(ValueError, match="nodes_i"):
+            simultaneous_activation_probability_heterogeneous(
+                -1, 2, 2, 2, 0, 0, 0.1, 0.1
+            )
+
+
+class TestProtocolConfig:
+    def test_defaults_sane(self):
+        config = ProtocolConfig()
+        assert config.rcc.min_interval == pytest.approx(0.1)
+        assert config.ack_timeout == pytest.approx(2.5)
+
+    def test_rcc_validation(self):
+        with pytest.raises(ValueError):
+            RCCParams(max_messages_per_frame=0)
+        with pytest.raises(ValueError):
+            RCCParams(max_rate=0.0)
+        with pytest.raises(ValueError):
+            RCCParams(max_delay=-1.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(rejoin_timeout=0.0)
+        with pytest.raises(ValueError):
+            ProtocolConfig(max_retransmissions=-1)
+        with pytest.raises(ValueError):
+            ProtocolConfig(frame_loss_probability=1.5)
+        with pytest.raises(ValueError):
+            ProtocolConfig(activation_delay_per_degree=-0.1)

@@ -1,0 +1,250 @@
+"""Tests for repro.core.multiplexing: Π/Ψ sets and spare-pool sizing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channels import Channel, ChannelRole, TrafficSpec
+from repro.core.multiplexing import LinkMuxState, MultiplexingEngine
+from repro.core.overlap import OverlapPolicy
+from repro.network import LinkId
+from repro.routing import Path
+
+LINK = LinkId("x", "y")
+
+
+def state(**policy_kwargs) -> LinkMuxState:
+    return LinkMuxState(LINK, OverlapPolicy(**policy_kwargs))
+
+
+def components(*nodes) -> tuple[frozenset, int]:
+    path = Path(nodes)
+    return path.components, len(path.components)
+
+
+class TestLinkMuxStateBasics:
+    def test_empty_state_needs_no_spare(self):
+        assert state().spare_required() == 0.0
+
+    def test_single_backup_needs_own_bandwidth(self):
+        s = state()
+        comps, count = components(1, 2, 3)
+        assert s.add(0, 2.0, 3, comps, count) == 2.0
+
+    def test_duplicate_add_rejected(self):
+        s = state()
+        comps, count = components(1, 2, 3)
+        s.add(0, 1.0, 3, comps, count)
+        with pytest.raises(ValueError, match="already"):
+            s.add(0, 1.0, 3, comps, count)
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            state().remove(7)
+
+    def test_len_and_contains(self):
+        s = state()
+        comps, count = components(1, 2)
+        s.add(5, 1.0, 1, comps, count)
+        assert len(s) == 1 and 5 in s and 6 not in s
+
+
+class TestSharingSemantics:
+    def test_disjoint_primaries_share_at_mux1(self):
+        s = state()
+        a, ca = components(1, 2, 3)
+        b, cb = components(4, 5, 6)
+        s.add(0, 1.0, 1, a, ca)
+        assert s.add(1, 1.0, 1, b, cb) == 1.0  # fully multiplexed
+
+    def test_overlapping_primaries_do_not_share_at_mux1(self):
+        s = state()
+        a, ca = components(1, 2, 3)
+        b, cb = components(9, 2, 8)  # shares node 2
+        s.add(0, 1.0, 1, a, ca)
+        assert s.add(1, 1.0, 1, b, cb) == 2.0
+
+    def test_mux0_disables_sharing_entirely(self):
+        s = state()
+        a, ca = components(1, 2, 3)
+        b, cb = components(4, 5, 6)
+        s.add(0, 1.0, 0, a, ca)
+        assert s.add(1, 1.0, 0, b, cb) == 2.0
+
+    def test_link_sharing_blocks_mux3(self):
+        s = state()
+        a, ca = components(1, 2, 3)
+        b, cb = components(0, 2, 3, 4)  # shares link 2->3 (sc = 3)
+        s.add(0, 1.0, 3, a, ca)
+        assert s.add(1, 1.0, 3, b, cb) == 2.0
+
+    def test_node_sharing_allowed_at_mux3(self):
+        s = state()
+        a, ca = components(1, 2, 3)
+        b, cb = components(9, 2, 8)  # sc = 1 < 3
+        s.add(0, 1.0, 3, a, ca)
+        assert s.add(1, 1.0, 3, b, cb) == 1.0
+
+    def test_priority_filter_excludes_lower_priority_conflicts(self):
+        # A high-priority (mux=1) backup's requirement counts conflicting
+        # peers of priority <= its own; a LOWER-priority conflicting backup
+        # (larger degree) is excluded — it will activate after us.
+        s = state()
+        a, ca = components(1, 2, 3)
+        b, cb = components(9, 2, 8)  # conflicts with a at degree 1 (sc=1)
+        s.add(0, 1.0, 1, a, ca)       # high priority
+        spare = s.add(1, 1.0, 6, b, cb)  # low priority, sc=1 < 6: shares
+        # Entry a: conflicts judged at degree 1 but only peers with degree
+        # <= 1 count; entry b: degree 6 sees sc=1 < 6 so multiplexable.
+        assert spare == 1.0
+
+    def test_requirement_is_max_over_entries(self):
+        s = state()
+        a, ca = components(1, 2, 3)
+        b, cb = components(9, 2, 8)    # conflicts with a (sc=1)
+        c, cc = components(10, 11, 12)  # disjoint from both
+        s.add(0, 1.0, 1, a, ca)
+        s.add(1, 1.0, 1, b, cb)
+        assert s.spare_required() == 2.0
+        s.add(2, 1.0, 1, c, cc)
+        assert s.spare_required() == 2.0  # c shares with both
+
+    def test_heterogeneous_bandwidths(self):
+        s = state()
+        a, ca = components(1, 2, 3)
+        b, cb = components(9, 2, 8)
+        s.add(0, 5.0, 1, a, ca)
+        assert s.add(1, 2.0, 1, b, cb) == 7.0
+
+
+class TestIncrementalConsistency:
+    def test_incremental_matches_recompute_after_adds_and_removes(self):
+        s = state()
+        paths = [
+            (0, (1, 2, 3), 1),
+            (1, (9, 2, 8), 3),
+            (2, (1, 4, 3), 6),
+            (3, (7, 8, 9), 1),
+            (4, (1, 2, 5), 5),
+            (5, (6, 5, 3), 0),
+        ]
+        for cid, nodes, degree in paths:
+            comps, count = components(*nodes)
+            s.add(cid, 1.0 + cid * 0.5, degree, comps, count)
+            assert s.spare_required() == pytest.approx(
+                s.spare_required_recomputed()
+            )
+        for cid in (1, 4, 0):
+            s.remove(cid)
+            assert s.spare_required() == pytest.approx(
+                s.spare_required_recomputed()
+            )
+
+    def test_preview_matches_actual_add(self):
+        s = state()
+        backups = [
+            (0, (1, 2, 3), 1),
+            (1, (9, 2, 8), 3),
+            (2, (7, 5, 4), 6),
+        ]
+        for cid, nodes, degree in backups:
+            comps, count = components(*nodes)
+            predicted = s.preview_add(1.0, degree, comps, count)
+            actual = s.add(cid, 1.0, degree, comps, count)
+            assert predicted == pytest.approx(actual)
+
+    def test_preview_does_not_mutate(self):
+        s = state()
+        comps, count = components(1, 2, 3)
+        s.add(0, 1.0, 1, comps, count)
+        before = s.spare_required()
+        other, oc = components(9, 2, 8)
+        s.preview_add(1.0, 1, other, oc)
+        assert s.spare_required() == before and len(s) == 1
+
+
+class TestPsiSets:
+    def test_psi_counts_multiplexed_peers(self):
+        s = state()
+        a, ca = components(1, 2, 3)
+        b, cb = components(4, 5, 6)     # disjoint: multiplexable with a
+        c, cc = components(9, 2, 8)     # conflicts with a
+        s.add(0, 1.0, 1, a, ca)
+        s.add(1, 1.0, 1, b, cb)
+        s.add(2, 1.0, 1, c, cc)
+        assert s.psi_size(0) == 1  # only b shares with a
+        assert s.psi_size(1) == 2  # b shares with both a and c
+
+    def test_psi_sizes_for_candidate(self):
+        s = state()
+        a, ca = components(1, 2, 3)
+        s.add(0, 1.0, 1, a, ca)
+        candidate, count = components(9, 2, 8)  # sc = 1 against a
+        sizes = s.psi_sizes_for_candidate(candidate, count, [0, 1, 2, 6])
+        assert sizes == {0: 0, 1: 0, 2: 1, 6: 1}
+
+
+class TestMultiplexingEngine:
+    def _backup(self, cid, nodes, degree, bandwidth=1.0):
+        return Channel(
+            channel_id=cid,
+            connection_id=cid,
+            role=ChannelRole.BACKUP,
+            serial=1,
+            path=Path(nodes),
+            traffic=TrafficSpec(bandwidth=bandwidth),
+            mux_degree=degree,
+        )
+
+    def _primary(self, cid, nodes):
+        return Channel(
+            channel_id=cid + 1000,
+            connection_id=cid,
+            role=ChannelRole.PRIMARY,
+            serial=0,
+            path=Path(nodes),
+            traffic=TrafficSpec(),
+        )
+
+    def test_add_backup_touches_every_path_link(self):
+        engine = MultiplexingEngine()
+        backup = self._backup(0, (1, 2, 3), 1)
+        primary = self._primary(0, (1, 5, 3))
+        requirements = engine.add_backup(backup, primary)
+        assert set(requirements) == {LinkId(1, 2), LinkId(2, 3)}
+        assert all(value == 1.0 for value in requirements.values())
+
+    def test_add_primary_rejected(self):
+        engine = MultiplexingEngine()
+        primary = self._primary(0, (1, 5, 3))
+        with pytest.raises(ValueError, match="not a backup"):
+            engine.add_backup(primary, primary)
+
+    def test_remove_backup_round_trip(self):
+        engine = MultiplexingEngine()
+        backup = self._backup(0, (1, 2, 3), 1)
+        primary = self._primary(0, (1, 5, 3))
+        engine.add_backup(backup, primary)
+        requirements = engine.remove_backup(backup)
+        assert all(value == 0.0 for value in requirements.values())
+        assert engine.spare_required(LinkId(1, 2)) == 0.0
+
+    def test_spare_required_unknown_link_is_zero(self):
+        assert MultiplexingEngine().spare_required(LinkId(7, 8)) == 0.0
+
+    def test_preview_backup(self):
+        engine = MultiplexingEngine()
+        primary = self._primary(0, (1, 5, 3))
+        preview = engine.preview_backup(Path([1, 2, 3]), 1.0, 1, primary)
+        assert preview == {LinkId(1, 2): 1.0, LinkId(2, 3): 1.0}
+
+    def test_psi_sizes_per_link(self):
+        engine = MultiplexingEngine()
+        first = self._backup(0, (1, 2, 3), 1)
+        engine.add_backup(first, self._primary(0, (1, 8, 3)))
+        second = self._backup(1, (1, 2, 9), 1)
+        engine.add_backup(second, self._primary(1, (1, 7, 9)))
+        sizes = engine.psi_sizes(second)
+        # Primaries share endpoint node 1 -> sc >= 1 -> NOT multiplexable
+        # at degree 1, so Ψ is empty on the shared link.
+        assert sizes[LinkId(1, 2)] == 0

@@ -1,0 +1,106 @@
+"""Tests for in-place multiplexing-degree adjustment (Section 3.4's
+"further relaxed, if necessary")."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BCPNetwork, EstablishmentError, FaultToleranceQoS, torus
+
+
+@pytest.fixture
+def pair():
+    """Two same-route connections whose backups can share at high degree."""
+    network = BCPNetwork(torus(4, 4, capacity=200.0))
+    qos = FaultToleranceQoS(num_backups=1, mux_degree=15)
+    first = network.establish(0, 2, ft_qos=qos)
+    second = network.establish(0, 2, ft_qos=qos)
+    return network, first, second
+
+
+class TestAdjustBackupDegree:
+    def test_relaxing_reduces_spare(self):
+        network = BCPNetwork(torus(4, 4, capacity=200.0))
+        qos = FaultToleranceQoS(num_backups=1, mux_degree=0)
+        first = network.establish(0, 2, ft_qos=qos)
+        second = network.establish(0, 2, ft_qos=qos)
+        before = network.ledger.total_spare()
+        for connection in (first, second):
+            network.engine.adjust_backup_degree(
+                connection, connection.backups[0], 15
+            )
+        assert network.ledger.total_spare() < before
+
+    def test_tightening_one_backup_is_free(self, pair):
+        # Tightening only ONE of the sharing backups costs nothing: it
+        # becomes the highest priority and draws first, so its guarantee
+        # needs no extra pool (the ν-filtered sizing rule of Section 3.2).
+        network, first, second = pair
+        before = network.ledger.total_spare()
+        network.engine.adjust_backup_degree(first, first.backups[0], 0)
+        assert network.ledger.total_spare() == pytest.approx(before)
+
+    def test_tightening_both_backups_increases_spare(self, pair):
+        network, first, second = pair
+        before = network.ledger.total_spare()
+        network.engine.adjust_backup_degree(first, first.backups[0], 0)
+        network.engine.adjust_backup_degree(second, second.backups[0], 0)
+        assert network.ledger.total_spare() > before
+
+    def test_noop_adjustment(self, pair):
+        network, first, _ = pair
+        spare = network.ledger.total_spare()
+        network.engine.adjust_backup_degree(first, first.backups[0], 15)
+        assert network.ledger.total_spare() == spare
+
+    def test_connection_qos_follows(self, pair):
+        network, first, _ = pair
+        network.engine.adjust_backup_degree(first, first.backups[0], 3)
+        assert first.mux_degree == 3
+        assert first.backups[0].mux_degree == 3
+
+    def test_infeasible_tightening_restores_original(self):
+        # Capacity 1.5: the shared backup links hold one spare unit.
+        # Tightening BOTH backups to mux=0 would need 2 units there —
+        # impossible; the second adjustment must fail and roll back.
+        network = BCPNetwork(torus(4, 4, capacity=1.5))
+        qos = FaultToleranceQoS(num_backups=1, mux_degree=15)
+        first = network.establish(0, 2, ft_qos=qos)
+        second = network.establish(0, 2, ft_qos=qos)
+        assert first.backups[0].path == second.backups[0].path
+        network.engine.adjust_backup_degree(first, first.backups[0], 0)
+        spare_before = network.ledger.total_spare()
+        with pytest.raises(EstablishmentError, match="tighten"):
+            network.engine.adjust_backup_degree(second, second.backups[0], 0)
+        assert second.backups[0].mux_degree == 15
+        assert network.ledger.total_spare() == pytest.approx(spare_before)
+
+    def test_foreign_backup_rejected(self, pair):
+        network, first, second = pair
+        with pytest.raises(ValueError, match="not a backup"):
+            network.engine.adjust_backup_degree(
+                first, second.backups[0], 3
+            )
+
+    def test_negative_degree_rejected(self, pair):
+        network, first, _ = pair
+        with pytest.raises(ValueError, match="new_degree"):
+            network.engine.adjust_backup_degree(first, first.backups[0], -1)
+
+
+class TestNegotiationUsesAdjustment:
+    def test_backup_path_stable_across_tightening(self, torus4):
+        offer = torus4.negotiate(0, 5, required_pr=1 - 1e-12)
+        # The negotiation tightened degrees but never rerouted: exactly one
+        # backup exists and its path is a valid disjoint route.
+        connection = offer.connection
+        assert connection.num_backups == 1
+        primary = connection.primary.path
+        backup = connection.backups[0].path
+        assert set(primary.links).isdisjoint(backup.links)
+
+    def test_tightening_stops_at_requirement(self, torus4):
+        offer = torus4.negotiate(0, 5, required_pr=0.99)
+        # A loose requirement is met at the cheapest degree: no tightening.
+        assert offer.connection.backups[0].mux_degree == 6
+        assert offer.satisfied

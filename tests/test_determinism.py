@@ -1,0 +1,73 @@
+"""Reproducibility: identical inputs must give identical outputs.
+
+The whole pipeline is seeded and tie-breaks are deterministic, so every
+experiment must be bit-for-bit repeatable — the property that makes the
+EXPERIMENTS.md numbers meaningful.
+"""
+
+from __future__ import annotations
+
+from repro import BCPNetwork, FaultToleranceQoS, torus
+from repro.experiments import run_table1
+from repro.experiments.setup import NetworkConfig
+from repro.experiments.workloads import all_pairs, establish_workload
+from repro.faults import sample_double_node_failures
+from repro.protocol import ProtocolConfig, simulate_scenario
+from repro.faults import FailureScenario
+
+
+class TestDeterminism:
+    def test_establishment_is_deterministic(self):
+        def snapshot():
+            network = BCPNetwork(torus(4, 4, capacity=200.0))
+            establish_workload(
+                network,
+                all_pairs(network.topology),
+                FaultToleranceQoS(num_backups=1, mux_degree=3),
+            )
+            return (
+                network.ledger.snapshot_spares(),
+                [tuple(c.primary.path.nodes) for c in network.connections()],
+                [tuple(c.backups[0].path.nodes)
+                 for c in network.connections()],
+            )
+
+        assert snapshot() == snapshot()
+
+    def test_table1_repeatable(self):
+        config = NetworkConfig(rows=3, cols=3)
+        first = run_table1(config, mux_degrees=(3,), double_node_samples=5,
+                           seed=7)
+        second = run_table1(config, mux_degrees=(3,), double_node_samples=5,
+                            seed=7)
+        assert first.spare == second.spare
+        assert first.r_fast == second.r_fast
+
+    def test_double_node_sampling_seeded(self):
+        topology = torus(4, 4)
+        a = sample_double_node_failures(topology, 20, seed=3)
+        b = sample_double_node_failures(topology, 20, seed=3)
+        c = sample_double_node_failures(topology, 20, seed=4)
+        assert [s.failed_nodes for s in a] == [s.failed_nodes for s in b]
+        assert [s.failed_nodes for s in a] != [s.failed_nodes for s in c]
+
+    def test_protocol_run_repeatable(self):
+        def run_once():
+            network = BCPNetwork(torus(4, 4, capacity=200.0))
+            connection = network.establish(
+                0, 10, ft_qos=FaultToleranceQoS(num_backups=1, mux_degree=1)
+            )
+            scenario = FailureScenario.of_links(
+                [connection.primary.path.links[1]]
+            )
+            metrics = simulate_scenario(
+                network, scenario,
+                ProtocolConfig(frame_loss_probability=0.2,
+                               max_retransmissions=12),
+                seed=9,
+            )
+            record = metrics.recoveries[connection.connection_id]
+            return (record.recovered_serial, record.service_disruption,
+                    record.completed_at)
+
+        assert run_once() == run_once()

@@ -1,0 +1,92 @@
+"""Tests for topology import/export (edge lists, DOT)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import (
+    LinkId,
+    Topology,
+    from_edge_list,
+    load_edge_list,
+    save_edge_list,
+    to_dot,
+    to_edge_list,
+    torus,
+)
+
+
+class TestEdgeListRoundTrip:
+    def test_torus_round_trip(self):
+        original = torus(3, 3, capacity=150.0)
+        rebuilt = from_edge_list(to_edge_list(original))
+        assert rebuilt.num_nodes == original.num_nodes
+        assert set(rebuilt.links()) == set(original.links())
+        assert rebuilt.capacity(LinkId(0, 1)) == 150.0
+
+    def test_duplex_collapses_to_one_line(self):
+        topology = Topology()
+        topology.add_duplex_link(0, 1, 10.0)
+        text = to_edge_list(topology)
+        data_lines = [l for l in text.splitlines() if not l.startswith("#")]
+        assert data_lines == ["0 1 10"]
+
+    def test_simplex_marker(self):
+        topology = Topology()
+        topology.add_link("a", "b", 5.0)
+        text = to_edge_list(topology)
+        assert "simplex" in text
+        rebuilt = from_edge_list(text)
+        assert rebuilt.has_link("a", "b")
+        assert not rebuilt.has_link("b", "a")
+
+    def test_asymmetric_capacities_stay_simplex(self):
+        topology = Topology()
+        topology.add_link(0, 1, 5.0)
+        topology.add_link(1, 0, 7.0)
+        rebuilt = from_edge_list(to_edge_list(topology))
+        assert rebuilt.capacity(LinkId(0, 1)) == 5.0
+        assert rebuilt.capacity(LinkId(1, 0)) == 7.0
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# header\n\n0 1 10  # trailing comment\n"
+        rebuilt = from_edge_list(text)
+        assert rebuilt.num_links == 2
+
+    def test_string_labels_preserved(self):
+        rebuilt = from_edge_list("nyc lon 100\n")
+        assert rebuilt.has_link("nyc", "lon")
+
+    @pytest.mark.parametrize("bad", [
+        "0 1\n",                # missing capacity
+        "0 1 x\n",              # bad capacity
+        "0 1 10 bidirectional\n",  # unknown marker
+    ])
+    def test_malformed_lines_rejected(self, bad):
+        with pytest.raises(ValueError):
+            from_edge_list(bad)
+
+    def test_file_round_trip(self, tmp_path):
+        original = torus(3, 3)
+        target = tmp_path / "net.edges"
+        save_edge_list(original, target)
+        rebuilt = load_edge_list(target)
+        assert set(rebuilt.links()) == set(original.links())
+        assert rebuilt.name == "net"
+
+
+class TestDot:
+    def test_duplex_rendered_bidirectional(self):
+        topology = Topology("demo")
+        topology.add_duplex_link(0, 1, 10.0)
+        dot = to_dot(topology)
+        assert 'digraph "demo"' in dot
+        assert dot.count("->") == 1
+        assert "dir=both" in dot
+
+    def test_simplex_rendered_directed(self):
+        topology = Topology()
+        topology.add_link(0, 1, 10.0)
+        dot = to_dot(topology)
+        assert "dir=both" not in dot
+        assert '"0" -> "1"' in dot

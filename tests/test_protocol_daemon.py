@@ -1,0 +1,199 @@
+"""Focused daemon-level tests: reporting rules per scheme, dedup,
+rejoin/closure edge cases (Fig. 6), and message plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BCPNetwork, FaultToleranceQoS, torus
+from repro.faults import FailureScenario
+from repro.network import LinkId
+from repro.network.generators import line, ring
+from repro.protocol import (
+    Direction,
+    ProtocolConfig,
+    ProtocolSimulation,
+    SwitchingScheme,
+)
+from repro.protocol.states import LocalChannelState
+
+
+def build_ring_network():
+    """A 6-ring with one 0->3 connection; primary and backup are the two
+    ring halves, making message paths fully predictable."""
+    network = BCPNetwork(ring(6, capacity=100.0))
+    connection = network.establish(
+        0, 3, ft_qos=FaultToleranceQoS(num_backups=1, mux_degree=1)
+    )
+    return network, connection
+
+
+class TestDirection:
+    def test_reverse(self):
+        assert Direction.TO_SOURCE.reverse() is Direction.TO_DESTINATION
+        assert Direction.TO_DESTINATION.reverse() is Direction.TO_SOURCE
+
+
+class TestReportingRules:
+    @pytest.mark.parametrize(
+        "scheme, expect_source_informed, expect_dest_informed",
+        [
+            (SwitchingScheme.SCHEME_1, False, True),
+            (SwitchingScheme.SCHEME_2, True, False),
+            (SwitchingScheme.SCHEME_3, True, True),
+        ],
+    )
+    def test_who_gets_the_report(self, scheme, expect_source_informed,
+                                 expect_dest_informed):
+        network, connection = build_ring_network()
+        simulation = ProtocolSimulation(network, ProtocolConfig(scheme=scheme))
+        # Fail the middle link of the primary (1->2): node 1 upstream,
+        # node 2 downstream.
+        simulation.inject_scenario(
+            FailureScenario.of_links([connection.primary.path.links[1]]),
+            at=1.0,
+        )
+        simulation.run(until=100.0)
+        source_record = simulation.daemons[0].records[
+            connection.primary.channel_id
+        ]
+        dest_record = simulation.daemons[3].records[
+            connection.primary.channel_id
+        ]
+        # An end-node that was informed has its record in U (or torn down
+        # after the rejoin timer); an uninformed end keeps it in P.
+        informed_states = (
+            LocalChannelState.UNHEALTHY, LocalChannelState.NON_EXISTENT
+        )
+        assert (source_record.state in informed_states) == (
+            expect_source_informed
+        )
+        assert (dest_record.state in informed_states) == expect_dest_informed
+
+    def test_duplicate_reports_do_not_duplicate_recovery(self):
+        # A node failure makes *two* neighbours report the same channel;
+        # the end-nodes must attempt only one activation per backup.
+        network, connection = build_ring_network()
+        simulation = ProtocolSimulation(network, ProtocolConfig())
+        victim = connection.primary.path.interior_nodes[0]
+        simulation.inject_scenario(FailureScenario.of_nodes([victim]), at=1.0)
+        simulation.run(until=100.0)
+        record = simulation.metrics.recoveries[connection.connection_id]
+        assert record.recovered_serial == 1
+        assert len(record.attempts) == 1
+
+    def test_intermediate_nodes_all_learn_under_scheme3(self):
+        network, connection = build_ring_network()
+        simulation = ProtocolSimulation(network, ProtocolConfig())
+        simulation.inject_scenario(
+            FailureScenario.of_links([connection.primary.path.links[1]]),
+            at=1.0,
+        )
+        simulation.run(until=20.0)  # before the rejoin timer fires
+        for node in connection.primary.path.nodes:
+            record = simulation.daemons[node].records[
+                connection.primary.channel_id
+            ]
+            assert record.state is LocalChannelState.UNHEALTHY, node
+
+
+class TestRejoinEdgeCases:
+    def test_late_rejoin_triggers_closure(self):
+        # Fig. 6: the rejoin timer expires at some nodes before the rejoin
+        # confirm passes; the channel must end NON_EXISTENT everywhere
+        # rather than half-repaired.
+        network, connection = build_ring_network()
+        config = ProtocolConfig(rejoin_timeout=6.0, max_retransmissions=30)
+        simulation = ProtocolSimulation(network, config)
+        victim = connection.primary.path.links[1]
+        simulation.inject_scenario(FailureScenario.of_links([victim]), at=1.0)
+        # Repair arrives after the rejoin timers have expired; retransmitted
+        # rejoin traffic may then leak through, and must be undone.
+        simulation.repair(victim, at=40.0)
+        simulation.run(until=400.0)
+        states = {
+            node: simulation.daemons[node].records[
+                connection.primary.channel_id
+            ].state
+            for node in connection.primary.path.nodes
+        }
+        assert set(states.values()) <= {
+            LocalChannelState.NON_EXISTENT
+        }, states
+
+    def test_prompt_repair_rejoins_everywhere(self):
+        network, connection = build_ring_network()
+        config = ProtocolConfig(rejoin_timeout=100.0)
+        simulation = ProtocolSimulation(network, config)
+        victim = connection.primary.path.links[1]
+        simulation.inject_scenario(FailureScenario.of_links([victim]), at=1.0)
+        simulation.repair(victim, at=4.0)
+        simulation.run(until=400.0)
+        for node in connection.primary.path.nodes:
+            record = simulation.daemons[node].records[
+                connection.primary.channel_id
+            ]
+            assert record.state is LocalChannelState.BACKUP, node
+
+    def test_rejoined_primary_survives_second_failure(self):
+        # After repair+rejoin the old primary serves as the backup for a
+        # failure of the *new* primary (the promoted original backup).
+        network, connection = build_ring_network()
+        config = ProtocolConfig(rejoin_timeout=100.0)
+        simulation = ProtocolSimulation(network, config)
+        first_victim = connection.primary.path.links[1]
+        simulation.inject_scenario(
+            FailureScenario.of_links([first_victim]), at=1.0
+        )
+        simulation.repair(first_victim, at=5.0)
+        # Fail the promoted backup after things settle.
+        second_victim = connection.backups[0].path.links[1]
+        simulation.fail(second_victim, at=60.0)
+        simulation.run(until=500.0)
+        record = simulation.metrics.recoveries[connection.connection_id]
+        # Second recovery reused the rejoined original primary (serial 0).
+        assert 0 in record.attempts
+        assert not record.unrecoverable
+
+
+class TestNodeDeath:
+    def test_dead_node_daemon_is_silent(self):
+        network, connection = build_ring_network()
+        simulation = ProtocolSimulation(network, ProtocolConfig())
+        victim = connection.primary.path.interior_nodes[0]
+        simulation.inject_scenario(FailureScenario.of_nodes([victim]), at=1.0)
+        simulation.run(until=200.0)
+        # The dead node's records never left their pre-failure state: it
+        # processed nothing after the crash.
+        dead_daemon = simulation.daemons[victim]
+        record = dead_daemon.records[connection.primary.channel_id]
+        assert record.state is LocalChannelState.PRIMARY
+
+    def test_failure_of_both_end_nodes(self):
+        network, connection = build_ring_network()
+        simulation = ProtocolSimulation(network, ProtocolConfig())
+        simulation.inject_scenario(
+            FailureScenario.of_nodes([connection.source,
+                                      connection.destination]),
+            at=1.0,
+        )
+        simulation.run(until=200.0)
+        record = simulation.metrics.recoveries[connection.connection_id]
+        assert record.endpoint_failed
+        assert not record.recovered
+
+
+class TestLineTopology:
+    def test_backupless_connection_reports_unrecoverable(self):
+        network = BCPNetwork(line(4, capacity=100.0))
+        connection = network.establish(
+            0, 3, ft_qos=FaultToleranceQoS(num_backups=0, mux_degree=0)
+        )
+        simulation = ProtocolSimulation(network, ProtocolConfig())
+        simulation.inject_scenario(
+            FailureScenario.of_links([LinkId(1, 2)]), at=1.0
+        )
+        simulation.run(until=200.0)
+        record = simulation.metrics.recoveries[connection.connection_id]
+        assert record.unrecoverable
+        assert not record.recovered

@@ -1,0 +1,192 @@
+"""Tests for the RCC transport layer: framing, acks, retransmission."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import LinkId
+from repro.protocol.config import ProtocolConfig, RCCParams
+from repro.protocol.messages import FailureReport, RCCFrame
+from repro.protocol.rcc import RCCLink
+from repro.sim import EventEngine
+
+LINK = LinkId("a", "b")
+BACK = LinkId("b", "a")
+
+
+def make_pair(config=None, up=None, engine=None):
+    """A forward/reverse RCC pair delivering into lists."""
+    engine = engine or EventEngine()
+    config = config or ProtocolConfig()
+    health = up if up is not None else (lambda link: True)
+    delivered_fwd, delivered_rev = [], []
+    forward = RCCLink(engine, LINK, config, health, delivered_fwd.append, seed=1)
+    backward = RCCLink(engine, BACK, config, health, delivered_rev.append, seed=2)
+    forward.reverse = backward
+    backward.reverse = forward
+    return engine, forward, backward, delivered_fwd, delivered_rev
+
+
+def report(channel_id=0):
+    return FailureReport(channel_id=channel_id)
+
+
+class TestDelivery:
+    def test_message_delivered_after_dmax(self):
+        engine, forward, _, delivered, _ = make_pair()
+        forward.send(report(7))
+        engine.run()
+        assert len(delivered) == 1
+        assert delivered[0].channel_id == 7
+        assert forward.stats.messages_delivered == 1
+
+    def test_batching_respects_frame_size(self):
+        config = ProtocolConfig(rcc=RCCParams(max_messages_per_frame=2))
+        engine, forward, _, delivered, _ = make_pair(config)
+        for i in range(5):
+            forward.send(report(i))
+        engine.run()
+        assert len(delivered) == 5
+        # 5 messages at <=2/frame need at least 3 frames.
+        assert forward.stats.frames_sent >= 3
+
+    def test_rate_limit_spaces_frames(self):
+        config = ProtocolConfig(
+            rcc=RCCParams(max_messages_per_frame=1, max_rate=0.5)  # 2.0 apart
+        )
+        engine, forward, _, delivered, _ = make_pair(config)
+        forward.send(report(0))
+        forward.send(report(1))
+        engine.run()
+        assert len(delivered) == 2
+        # Second frame eligible 2.0 after the first: delivery at 1.0, 3.0.
+        assert engine.now >= 3.0
+
+    def test_in_order_delivery(self):
+        engine, forward, _, delivered, _ = make_pair()
+        for i in range(10):
+            forward.send(report(i))
+        engine.run()
+        assert [m.channel_id for m in delivered] == list(range(10))
+
+    def test_ack_clears_pending(self):
+        engine, forward, _, _, _ = make_pair()
+        forward.send(report())
+        engine.run()
+        assert forward.stats.retransmissions == 0
+        assert not forward._pending  # all frames acknowledged
+
+    def test_max_message_delay_tracked(self):
+        engine, forward, _, _, _ = make_pair()
+        forward.send(report())
+        engine.run()
+        assert forward.stats.max_message_delay == pytest.approx(
+            ProtocolConfig().rcc.max_delay
+        )
+
+
+class TestLossAndRetransmission:
+    def test_lossy_link_recovers_by_retransmission(self):
+        config = ProtocolConfig(frame_loss_probability=0.4)
+        engine, forward, _, delivered, _ = make_pair(config)
+        for i in range(20):
+            forward.send(report(i))
+        engine.run()
+        assert sorted(m.channel_id for m in delivered) == list(range(20))
+        assert forward.stats.retransmissions > 0
+
+    def test_duplicates_dropped_when_ack_lost(self):
+        # Loss applies to acks too; retransmitted frames must be deduped.
+        config = ProtocolConfig(frame_loss_probability=0.5)
+        engine, forward, _, delivered, _ = make_pair(config)
+        for i in range(30):
+            forward.send(report(i))
+        engine.run()
+        ids = [m.channel_id for m in delivered]
+        assert len(ids) == len(set(ids))  # no duplicate delivery
+
+    def test_dead_link_gives_up_after_budget(self):
+        config = ProtocolConfig(max_retransmissions=3)
+        engine, forward, _, delivered, _ = make_pair(config, up=lambda link: False)
+        forward.send(report())
+        engine.run()
+        assert delivered == []
+        assert forward.stats.gave_up == 1
+        assert forward.stats.retransmissions == 3
+
+    def test_give_up_hook_fires_once_per_frame(self):
+        config = ProtocolConfig(max_retransmissions=2)
+        engine, forward, _, _, _ = make_pair(config, up=lambda link: False)
+        declared = []
+        forward.on_give_up = declared.append
+        forward.send(report(1))
+        forward.send(report(2))  # batches into the same frame
+        engine.run()
+        assert declared == [LINK]
+
+    def test_give_up_hook_not_fired_on_success(self):
+        engine, forward, _, _, _ = make_pair()
+        declared = []
+        forward.on_give_up = declared.append
+        forward.send(report())
+        engine.run()
+        assert declared == []
+
+    def test_link_healing_mid_retry_delivers(self):
+        state = {"up": False}
+        config = ProtocolConfig(max_retransmissions=8)
+        engine, forward, _, delivered, _ = make_pair(
+            config, up=lambda link: state["up"]
+        )
+        forward.send(report(5))
+        engine.schedule(4.0, lambda: state.__setitem__("up", True))
+        engine.run()
+        assert [m.channel_id for m in delivered] == [5]
+
+    def test_frame_lost_in_flight_when_link_dies(self):
+        state = {"up": True}
+        config = ProtocolConfig(max_retransmissions=0)
+        engine, forward, _, delivered, _ = make_pair(
+            config, up=lambda link: state["up"]
+        )
+        forward.send(report())
+        # Kill the link while the frame is flying (delivery at t=1.0).
+        engine.schedule(0.5, lambda: state.__setitem__("up", False))
+        engine.run()
+        assert delivered == []
+        assert forward.stats.frames_lost >= 1
+
+
+class TestFrameSemantics:
+    def test_pure_ack_frames_not_acked(self):
+        engine, forward, backward, _, _ = make_pair()
+        forward.send(report())
+        engine.run()
+        # The reverse link sent exactly the ack traffic; it must not itself
+        # be waiting for acks (no infinite ack ping-pong).
+        assert not backward._pending
+        assert engine.pending == 0
+
+    def test_frame_is_pure_ack_property(self):
+        assert RCCFrame(seq=0, acks=(1,)).is_pure_ack
+        assert not RCCFrame(seq=0, messages=(report(),)).is_pure_ack
+
+    def test_acks_piggyback_on_data_frames(self):
+        engine, forward, backward, _, _ = make_pair()
+        forward.send(report(0))
+        # Give the reverse direction data to carry the ack.
+        engine.schedule(1.0, lambda: backward.send(report(1)))
+        engine.run()
+        assert forward.stats.messages_delivered == 1
+        assert backward.stats.messages_delivered == 1
+
+    def test_same_instant_messages_batch_into_one_frame(self):
+        engine, forward, _, delivered, _ = make_pair()
+        for i in range(3):
+            forward.send(report(i))
+        engine.run()
+        assert len(delivered) == 3
+        # All three were enqueued before the transmission fired, so they
+        # ride a single frame (Fig. 7: a frame is a *combination* of
+        # control messages).
+        assert forward._next_seq == 1

@@ -1,0 +1,98 @@
+"""Tests for the Fig. 4 channel state machine and local records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocol.states import (
+    IllegalTransitionError,
+    LocalChannelRecord,
+    LocalChannelState,
+)
+from repro.routing import Path
+
+N = LocalChannelState.NON_EXISTENT
+P = LocalChannelState.PRIMARY
+B = LocalChannelState.BACKUP
+U = LocalChannelState.UNHEALTHY
+
+
+def record(node=2, nodes=(1, 2, 3)):
+    return LocalChannelRecord(
+        channel_id=0,
+        connection_id=0,
+        serial=1,
+        path=Path(nodes),
+        node=node,
+        mux_degree=3,
+    )
+
+
+class TestStateMachine:
+    @pytest.mark.parametrize(
+        "sequence",
+        [
+            [P, U, N],            # primary fails, rejoin expires
+            [B, P],               # activation
+            [B, U, B],            # backup fails, rejoins
+            [B, U, N],            # backup fails, torn down
+            [P, U, B],            # primary fails, repaired as backup
+            [B, N],               # teardown of a healthy backup
+            [P, N],               # teardown of a healthy primary
+        ],
+    )
+    def test_legal_sequences(self, sequence):
+        r = record()
+        for state in sequence:
+            r.transition(state)
+        assert r.state is sequence[-1]
+
+    @pytest.mark.parametrize(
+        "sequence, bad",
+        [
+            ([P], B),       # a primary never becomes a backup directly
+            ([B, U], P),    # activation in U is ignored, not a transition
+            ([P], P),       # self-transition
+            ([], U),        # N cannot become U
+            ([B, U], U),    # no self-transition in U (reports are ignored)
+        ],
+    )
+    def test_illegal_transitions_raise(self, sequence, bad):
+        r = record()
+        for state in sequence:
+            r.transition(state)
+        with pytest.raises(IllegalTransitionError):
+            r.transition(bad)
+        assert r.can_transition(bad) is False
+
+    def test_reported_cleared_on_leaving_unhealthy(self):
+        r = record()
+        r.transition(B)
+        r.transition(U)
+        r.reported.add("to_source")
+        r.transition(B)
+        assert r.reported == set()
+
+
+class TestRecordGeometry:
+    def test_interior_node(self):
+        r = record(node=2, nodes=(1, 2, 3))
+        assert not r.is_endpoint
+        assert r.upstream == 1
+        assert r.downstream == 3
+
+    def test_source(self):
+        r = record(node=1, nodes=(1, 2, 3))
+        assert r.is_source and not r.is_destination
+        assert r.upstream is None
+        assert r.downstream == 2
+
+    def test_destination(self):
+        r = record(node=3, nodes=(1, 2, 3))
+        assert r.is_destination
+        assert r.downstream is None
+        assert r.upstream == 2
+
+    def test_node_must_be_on_path(self):
+        with pytest.raises(ValueError, match="not on the path"):
+            record(node=9)

@@ -1,0 +1,122 @@
+"""Tests for establishment signalling (Section 3.4's message passes) and
+the activation-vs-re-establishment latency argument."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BCPNetwork, FaultToleranceQoS, TrafficSpec, torus
+from repro.analysis import recovery_delay_bound
+from repro.network import ReservationLedger, Topology
+from repro.protocol.signaling import (
+    SignalingParams,
+    SignalingSession,
+    establishment_latency,
+)
+from repro.routing import Path
+from repro.sim import EventEngine
+
+
+def make_line_ledger(capacity=10.0, nodes=5):
+    topology = Topology()
+    for i in range(nodes - 1):
+        topology.add_duplex_link(i, i + 1, capacity)
+    return topology, ReservationLedger(topology)
+
+
+class TestClosedForm:
+    def test_round_trip_formula(self):
+        params = SignalingParams(hop_delay=2.0, processing_delay=1.0)
+        # 4 hops: 8 transfers + 9 node-processing steps = 16 + 9 = 25.
+        assert establishment_latency(4, params) == pytest.approx(25.0)
+
+    def test_attempts_multiply(self):
+        params = SignalingParams()
+        assert establishment_latency(4, params, attempts=3) == pytest.approx(
+            3 * establishment_latency(4, params)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            establishment_latency(0)
+        with pytest.raises(ValueError):
+            establishment_latency(3, attempts=0)
+        with pytest.raises(ValueError):
+            SignalingParams(hop_delay=0.0)
+
+
+class TestSignalingSession:
+    def test_successful_session_reserves_and_matches_formula(self):
+        _, ledger = make_line_ledger()
+        engine = EventEngine()
+        path = Path([0, 1, 2, 3, 4])
+        session = SignalingSession(
+            engine, ledger, path, TrafficSpec(bandwidth=2.0)
+        ).start()
+        engine.run()
+        assert session.outcome.success
+        assert session.outcome.completed_at == pytest.approx(
+            establishment_latency(4)
+        )
+        for link in path.links:
+            assert ledger.primary_reserved(link) == 2.0
+
+    def test_blocked_session_rolls_back(self):
+        _, ledger = make_line_ledger(capacity=10.0)
+        # Saturate the middle link.
+        ledger.reserve_primary(Path([2, 3]).links[0], 10.0)
+        engine = EventEngine()
+        path = Path([0, 1, 2, 3, 4])
+        session = SignalingSession(
+            engine, ledger, path, TrafficSpec(bandwidth=1.0)
+        ).start()
+        engine.run()
+        assert not session.outcome.success
+        assert session.outcome.blocked_at == 2
+        # Tentative reservations on earlier links were released.
+        assert ledger.primary_reserved(path.links[0]) == 0.0
+        assert ledger.primary_reserved(path.links[1]) == 0.0
+
+    def test_concurrent_sessions_contend(self):
+        _, ledger = make_line_ledger(capacity=1.0)
+        engine = EventEngine()
+        path = Path([0, 1, 2, 3, 4])
+        first = SignalingSession(
+            engine, ledger, path, TrafficSpec(bandwidth=1.0)
+        ).start(at=0.0)
+        second = SignalingSession(
+            engine, ledger, path, TrafficSpec(bandwidth=1.0)
+        ).start(at=0.5)
+        engine.run()
+        outcomes = sorted([first.outcome.success, second.outcome.success])
+        assert outcomes == [False, True]
+
+    def test_visit_times_monotone(self):
+        _, ledger = make_line_ledger()
+        engine = EventEngine()
+        session = SignalingSession(
+            engine, ledger, Path([0, 1, 2, 3]), TrafficSpec()
+        ).start()
+        engine.run()
+        times = session.outcome.visit_times
+        assert times == sorted(times)
+        assert len(times) == 4
+
+
+class TestLatencyArgument:
+    def test_activation_beats_reestablishment(self):
+        """The paper's core quantitative claim: backup activation restores
+        service much faster than building a channel from scratch."""
+        network = BCPNetwork(torus(6, 6, capacity=200.0))
+        connection = network.establish(
+            0, 21, ft_qos=FaultToleranceQoS(num_backups=1, mux_degree=1)
+        )
+        hops = connection.primary.path.hops
+        # BCP's bound on service disruption (single backup): (K-1) D_max.
+        bcp_bound = recovery_delay_bound(
+            max(c.path.hops for c in connection.channels), 1, d_max=1.0
+        )
+        # Reactive recovery = the failure report reaching the source (same
+        # reporting cost) + a full establishment round trip.
+        reactive = (hops - 1) * 1.0 + establishment_latency(hops)
+        assert reactive > 2 * bcp_bound

@@ -1,0 +1,180 @@
+"""Tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import EventEngine, PeriodicTimer, SimulationError, Timeout
+
+
+class TestEventEngine:
+    def test_clock_starts_at_zero(self):
+        assert EventEngine().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(2.0, lambda: fired.append("b"))
+        engine.schedule(1.0, lambda: fired.append("a"))
+        engine.schedule(3.0, lambda: fired.append("c"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+        assert engine.now == 3.0
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        engine = EventEngine()
+        fired = []
+        for label in "abcde":
+            engine.schedule(1.0, lambda l=label: fired.append(l))
+        engine.run()
+        assert fired == list("abcde")
+
+    def test_args_are_passed(self):
+        engine = EventEngine()
+        seen = []
+        engine.schedule(1.0, seen.append, 42)
+        engine.run()
+        assert seen == [42]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventEngine().schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        engine = EventEngine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(1.0, lambda: None)
+
+    def test_cancellation(self):
+        engine = EventEngine()
+        fired = []
+        handle = engine.schedule(1.0, lambda: fired.append("x"))
+        assert handle.active
+        handle.cancel()
+        assert not handle.active
+        engine.run()
+        assert fired == []
+
+    def test_events_scheduled_during_run(self):
+        engine = EventEngine()
+        fired = []
+
+        def chain():
+            fired.append(engine.now)
+            if len(fired) < 3:
+                engine.schedule(1.0, chain)
+
+        engine.schedule(1.0, chain)
+        engine.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_run_until_stops_clock_exactly(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(10.0, lambda: fired.append(10))
+        assert engine.run(until=5.0) == 5.0
+        assert fired == [1]
+        # The later event is still pending and fires on the next run.
+        engine.run()
+        assert fired == [1, 10]
+
+    def test_run_until_composes(self):
+        engine = EventEngine()
+        engine.run(until=2.0)
+        assert engine.now == 2.0
+        engine.run(until=1.0)  # never goes backwards
+        assert engine.now == 2.0
+
+    def test_max_events(self):
+        engine = EventEngine()
+        fired = []
+        for _ in range(5):
+            engine.schedule(1.0, lambda: fired.append(1))
+        engine.run(max_events=2)
+        assert len(fired) == 2
+
+    def test_step(self):
+        engine = EventEngine()
+        engine.schedule(1.0, lambda: None)
+        assert engine.step()
+        assert not engine.step()
+
+    def test_counters(self):
+        engine = EventEngine()
+        engine.schedule(1.0, lambda: None)
+        handle = engine.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert engine.pending == 1
+        engine.run()
+        assert engine.events_processed == 1
+
+
+class TestTimeout:
+    def test_fires_after_duration(self):
+        engine = EventEngine()
+        fired = []
+        timer = Timeout(engine, 3.0, lambda: fired.append(engine.now))
+        timer.start()
+        engine.run()
+        assert fired == [3.0]
+        assert not timer.running
+
+    def test_restart_resets_deadline(self):
+        engine = EventEngine()
+        fired = []
+        timer = Timeout(engine, 3.0, lambda: fired.append(engine.now))
+        timer.start()
+        engine.schedule(2.0, timer.start)  # restart before expiry
+        engine.run()
+        assert fired == [5.0]
+
+    def test_cancel(self):
+        engine = EventEngine()
+        fired = []
+        timer = Timeout(engine, 3.0, lambda: fired.append(1))
+        timer.start()
+        timer.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_cancel_idempotent(self):
+        timer = Timeout(EventEngine(), 1.0, lambda: None)
+        timer.cancel()
+        timer.cancel()
+
+    def test_duration_validated(self):
+        with pytest.raises(ValueError):
+            Timeout(EventEngine(), 0.0, lambda: None)
+
+
+class TestPeriodicTimer:
+    def test_fires_periodically_until_stopped(self):
+        engine = EventEngine()
+        fired = []
+        timer = PeriodicTimer(engine, 2.0, lambda: fired.append(engine.now))
+        timer.start()
+        engine.schedule(7.0, timer.stop)
+        engine.run()
+        assert fired == [2.0, 4.0, 6.0]
+
+    def test_phase_controls_first_tick(self):
+        engine = EventEngine()
+        fired = []
+        timer = PeriodicTimer(engine, 2.0, lambda: fired.append(engine.now))
+        timer.start(phase=0.5)
+        engine.schedule(5.0, timer.stop)
+        engine.run()
+        assert fired == [0.5, 2.5, 4.5]
+
+    def test_restart_replaces_schedule(self):
+        engine = EventEngine()
+        fired = []
+        timer = PeriodicTimer(engine, 2.0, lambda: fired.append(engine.now))
+        timer.start()
+        engine.schedule(1.0, timer.start)  # restart at t=1
+        engine.schedule(6.0, timer.stop)
+        engine.run()
+        assert fired == [3.0, 5.0]

@@ -1,0 +1,121 @@
+"""Tests for teardown messaging, literal-scheme relaxation, and the
+classic traffic permutations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BCPNetwork, FaultToleranceQoS, torus
+from repro.experiments.workloads import (
+    bit_reversal_pairs,
+    establish_workload,
+    transpose_pairs,
+)
+from repro.protocol import ProtocolConfig, ProtocolSimulation
+from repro.protocol.states import LocalChannelState
+
+
+class TestTransposePairs:
+    def test_square_permutation(self):
+        topology = torus(4, 4)
+        pairs = transpose_pairs(topology, 4, 4)
+        # 16 nodes, 4 on the diagonal excluded.
+        assert len(pairs) == 12
+        assert all(src != dst for src, dst in pairs)
+        # (r,c) -> (c,r): node 1 = (0,1) talks to node 4 = (1,0).
+        assert (1, 4) in pairs
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            transpose_pairs(torus(2, 4), 2, 4)
+
+    def test_establishes_cleanly(self):
+        network = BCPNetwork(torus(4, 4))
+        report = establish_workload(
+            network,
+            transpose_pairs(network.topology, 4, 4),
+            FaultToleranceQoS(num_backups=1, mux_degree=3),
+        )
+        assert report.complete
+
+
+class TestBitReversalPairs:
+    def test_permutation_shape(self):
+        topology = torus(4, 4)  # 16 = 2^4 nodes
+        pairs = bit_reversal_pairs(topology)
+        assert all(src != dst for src, dst in pairs)
+        # 0b0001 -> 0b1000: node 1 talks to node 8.
+        assert (1, 8) in pairs
+        # Palindromic labels (0, 6=0110, 9=1001, 15) map to themselves.
+        sources = {src for src, _ in pairs}
+        assert 6 not in sources and 9 not in sources
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError, match="2\\^k"):
+            bit_reversal_pairs(torus(3, 3))
+
+
+class TestRuntimeClosure:
+    def test_closure_sweeps_the_whole_path(self, torus4):
+        connection = torus4.establish(
+            0, 10, ft_qos=FaultToleranceQoS(num_backups=1, mux_degree=1)
+        )
+        simulation = ProtocolSimulation(torus4, ProtocolConfig(), trace=True)
+        simulation.close_connection(connection.connection_id, at=5.0)
+        simulation.run(until=100.0)
+        for channel in connection.channels:
+            for node in channel.path.nodes:
+                record = simulation.daemons[node].records[channel.channel_id]
+                assert record.state is LocalChannelState.NON_EXISTENT, (
+                    channel.channel_id, node,
+                )
+        assert simulation.trace.filter(category="closure")
+
+    def test_closure_from_non_source_rejected(self, torus4):
+        connection = torus4.establish(
+            0, 10, ft_qos=FaultToleranceQoS(num_backups=0, mux_degree=0)
+        )
+        simulation = ProtocolSimulation(torus4, ProtocolConfig())
+        destination = connection.destination
+        with pytest.raises(ValueError, match="not the source"):
+            simulation.daemons[destination].initiate_closure(
+                connection.primary.channel_id
+            )
+
+    def test_closure_idempotent(self, torus4):
+        connection = torus4.establish(
+            0, 10, ft_qos=FaultToleranceQoS(num_backups=0, mux_degree=0)
+        )
+        simulation = ProtocolSimulation(torus4, ProtocolConfig())
+        simulation.close_connection(connection.connection_id, at=5.0)
+        simulation.close_connection(connection.connection_id, at=50.0)
+        simulation.run(until=200.0)  # second closure is a silent no-op
+
+
+class TestLiteralRelaxation:
+    def test_relaxation_rescues_tight_capacity(self):
+        """With capacity for only one unshared backup per link, a second
+        backup can only fit after relaxing the first one's degree."""
+        network = BCPNetwork(torus(4, 4, capacity=3.0))
+        # Demand enough reliability that one backup at degree 0 isn't the
+        # stopping point... drive the internals directly instead:
+        connection = network.establish(
+            0, 2, ft_qos=FaultToleranceQoS(num_backups=1, mux_degree=0)
+        )
+        other = network.establish(
+            0, 2, ft_qos=FaultToleranceQoS(num_backups=1, mux_degree=0)
+        )
+        # Shared backup links now hold 2 spare + some primaries elsewhere;
+        # relaxing both to full sharing must reduce the total.
+        before = network.ledger.total_spare()
+        assert network.engine._relax_existing_backups(connection, step=20)
+        assert network.engine._relax_existing_backups(other, step=20)
+        assert network.ledger.total_spare() < before
+
+    def test_relaxation_reports_no_change_at_cap(self, torus4):
+        connection = torus4.establish(
+            0, 2, ft_qos=FaultToleranceQoS(num_backups=1, mux_degree=0)
+        )
+        assert torus4.engine._relax_existing_backups(connection, step=100)
+        # Second call: already at the cap.
+        assert not torus4.engine._relax_existing_backups(connection, step=100)
