@@ -40,6 +40,7 @@ from repro.core import (
     OverlapPolicy,
 )
 from repro.network import Topology, mesh, torus
+from repro.obs import MetricsRegistry, NullRegistry
 from repro.routing import Path
 
 __version__ = "1.0.0"
@@ -58,6 +59,8 @@ __all__ = [
     "FaultToleranceQoS",
     "Topology",
     "Path",
+    "MetricsRegistry",
+    "NullRegistry",
     "torus",
     "mesh",
     "__version__",

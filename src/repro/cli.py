@@ -6,11 +6,17 @@ Examples::
     python -m repro figure9 --topology mesh --checkpoints 8
     python -m repro table3 --rows 4 --cols 4 --double-samples 30
     python -m repro delay-bound
+    python -m repro stats --rows 4 --cols 4     # one scenario + metrics
     python -m repro all --rows 4 --cols 4       # quick full sweep
 
 Every subcommand prints the regenerated table (same rows as the paper)
 to stdout.  The default 8x8 scale takes seconds-to-minutes per table;
 ``--rows 4 --cols 4`` gives a fast small-scale pass.
+
+Every subcommand also accepts ``--metrics-out PATH`` (write the run's
+``repro.metrics/1`` snapshot as JSON) and ``--trace-out PATH`` (write
+the run's structured trace as JSONL); see the Observability section of
+docs/architecture.md for the schemas.
 """
 
 from __future__ import annotations
@@ -19,6 +25,15 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro.obs import (
+    MetricsRegistry,
+    format_metrics,
+    get_registry,
+    obs_session,
+    write_metrics,
+    write_trace,
+)
+from repro.sim.trace import TraceLog
 from repro.experiments import (
     run_baseline_comparison,
     run_delay_bound,
@@ -151,7 +166,58 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--double-samples", type=int, default=100)
     report.add_argument("--output", default="reproduction-report.md")
 
+    stats = subparsers.add_parser(
+        "stats", help="re-run one failure scenario and print the run's "
+                      "metrics summary")
+    _add_network_arguments(stats)
+    stats.add_argument("--mux", type=int, default=3)
+    stats.add_argument("--backups", type=int, default=1)
+    stats.add_argument("--failures", type=int, default=1,
+                       help="fail this many links (lexicographically first)")
+    stats.add_argument("--horizon", type=float, default=200.0)
+
+    # Observability flags are global: every subcommand exports the same
+    # way (the whole run records into one session registry/trace sink).
+    for sub in subparsers.choices.values():
+        sub.add_argument(
+            "--metrics-out", metavar="PATH", default=None,
+            help="write the run's metrics snapshot as JSON (repro.metrics/1)")
+        sub.add_argument(
+            "--trace-out", metavar="PATH", default=None,
+            help="write the run's structured trace as JSONL (repro.trace/1)")
+
     return parser
+
+
+def _run_stats(args: argparse.Namespace) -> str:
+    """Re-run one failure scenario end to end and summarise the metrics."""
+    from repro.channels.qos import FaultToleranceQoS
+    from repro.experiments.setup import load_network
+    from repro.faults.models import FailureScenario
+    from repro.protocol import ProtocolConfig, ProtocolSimulation
+
+    config = _config(args)
+    qos = FaultToleranceQoS(num_backups=args.backups, mux_degree=args.mux)
+    network, _ = load_network(config, qos)
+    links = sorted(network.topology.links(), key=str)[:args.failures]
+    simulation = ProtocolSimulation(network, ProtocolConfig(), seed=0,
+                                    trace=True)
+    simulation.inject_scenario(FailureScenario.of_links(links), at=1.0)
+    simulation.run(until=args.horizon)
+    recovered = simulation.metrics.recovered_count()
+    worst = simulation.metrics.max_service_disruption()
+    failed = ", ".join(str(link) for link in links)
+    header = (
+        f"repro stats — {config.label}, mux={args.mux}, "
+        f"{args.backups} backup(s); failed: {failed}\n"
+        f"connections recovered via backup: {recovered}"
+        + (f"; worst service disruption: {worst:g}" if worst is not None
+           else "")
+    )
+    return (
+        header + "\n\n"
+        + format_metrics(get_registry().snapshot(), title="Metrics summary")
+    )
 
 
 def _run_command(args: argparse.Namespace) -> str:
@@ -205,6 +271,8 @@ def _run_command(args: argparse.Namespace) -> str:
             f"wrote {target} ({len(result.sections)} sections, "
             f"{len(result.errors)} failures)"
         )
+    if args.command == "stats":
+        return _run_stats(args)
     if args.command == "all":
         sections = []
         for backups in (1, 2):
@@ -232,7 +300,18 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    print(_run_command(args))
+    # Each invocation observes itself through a fresh session registry
+    # (and, with --trace-out, a shared trace sink), so exported counters
+    # reflect exactly this run and are reproducible run-to-run.
+    registry = MetricsRegistry()
+    sink = TraceLog(enabled=True) if args.trace_out else None
+    with obs_session(registry, sink):
+        output = _run_command(args)
+    print(output)
+    if args.metrics_out:
+        write_metrics(registry, args.metrics_out, command=args.command)
+    if sink is not None:
+        write_trace(sink, args.trace_out)
     return 0
 
 

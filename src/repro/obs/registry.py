@@ -1,0 +1,379 @@
+"""Metrics primitives: counters, gauges, and bounded histograms/timers.
+
+A :class:`MetricsRegistry` is a namespace of named instruments.  The
+design goals, in order:
+
+1. **Cheap enough to stay on by default.**  Every instrument is a plain
+   attribute-update object; instrumented code caches instrument
+   references at construction time, so the hot path never does a name
+   lookup.
+2. **Bounded memory.**  Histograms keep an exact ``count``/``sum``/
+   ``min``/``max`` plus a *deterministically decimated* sample buffer for
+   percentiles: once the buffer reaches its cap, every other retained
+   sample is dropped and the keep-stride doubles, so memory stays
+   ``O(cap)`` no matter how many values are recorded — without any RNG,
+   which keeps snapshots reproducible across identical runs.
+3. **A no-op twin.**  :class:`NullRegistry` hands out shared do-nothing
+   instruments so hot loops can be de-instrumented without ``if`` guards
+   at every call site; its ``enabled`` flag lets code skip even the
+   ``perf_counter`` calls around timed sections.
+
+Counter and gauge values are exactly reproducible across identical
+seeded runs; timer *values* are wall-clock and therefore are not (their
+``count`` still is).
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from time import perf_counter
+
+#: Version tag written into every exported snapshot (see docs/architecture.md).
+SNAPSHOT_SCHEMA = "repro.metrics/1"
+
+#: Default cap on retained histogram samples (per histogram).
+DEFAULT_MAX_SAMPLES = 2048
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1)."""
+        self.value += amount
+
+
+class Gauge:
+    """A spot value with min/max watermarks."""
+
+    __slots__ = ("name", "value", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: "float | None" = None
+        self.min = math.inf
+        self.max = -math.inf
+
+    def set(self, value: float) -> None:
+        """Record the current value, updating the watermarks."""
+        self.value = value
+        if value > self.max:
+            self.max = value
+        if value < self.min:
+            self.min = value
+
+    def summary(self) -> dict:
+        """``{"value", "min", "max"}`` (all ``None`` before any set)."""
+        if self.value is None:
+            return {"value": None, "min": None, "max": None}
+        return {"value": self.value, "min": self.min, "max": self.max}
+
+
+class Histogram:
+    """A bounded-memory distribution of recorded values.
+
+    Exact ``count``/``sum``/``min``/``max``; percentiles come from a
+    decimated sample (see the module docstring), which is exact until
+    ``max_samples`` values have been recorded and an evenly spaced
+    subsample afterwards.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max",
+                 "max_samples", "_samples", "_stride", "_skip")
+
+    def __init__(self, name: str, max_samples: int = DEFAULT_MAX_SAMPLES) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.max_samples = max_samples
+        self._samples: list[float] = []
+        self._stride = 1   # keep 1 of every _stride recorded values
+        self._skip = 0     # values left to drop before the next keep
+
+    def record(self, value: float) -> None:
+        """Fold one value in."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if self._skip:
+            self._skip -= 1
+            return
+        samples = self._samples
+        samples.append(value)
+        if len(samples) >= self.max_samples:
+            del samples[::2]
+            self._stride *= 2
+        self._skip = self._stride - 1
+
+    @property
+    def mean(self) -> "float | None":
+        return self.total / self.count if self.count else None
+
+    def percentile(self, p: float) -> "float | None":
+        """Nearest-rank percentile over the retained sample, or ``None``
+        when nothing has been recorded."""
+        samples = sorted(self._samples)
+        if not samples:
+            return None
+        rank = max(0, math.ceil(p / 100.0 * len(samples)) - 1)
+        return samples[min(rank, len(samples) - 1)]
+
+    def summary(self) -> dict:
+        """The exported shape: count/sum/min/max/mean/p50/p95/p99."""
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                    "mean": None, "p50": None, "p95": None, "p99": None}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.total / self.count,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class Timer(Histogram):
+    """A histogram of elapsed seconds with a context-manager helper."""
+
+    __slots__ = ()
+
+    @contextmanager
+    def time(self):
+        """``with timer.time(): ...`` records the block's wall time."""
+        start = perf_counter()
+        try:
+            yield self
+        finally:
+            self.record(perf_counter() - start)
+
+
+class MetricsRegistry:
+    """A namespace of get-or-create instruments.
+
+    Instrument kinds share one namespace: asking for an existing name
+    with a different kind raises ``TypeError`` (it is always a bug).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, object] = {}
+
+    def _get(self, name: str, kind: type):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name)
+            self._instruments[name] = instrument
+        elif type(instrument) is not kind:
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the named counter."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the named gauge."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the named histogram."""
+        return self._get(name, Histogram)
+
+    def timer(self, name: str) -> Timer:
+        """Get or create the named timer (a histogram of seconds)."""
+        return self._get(name, Timer)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """One JSON-ready dict of everything recorded so far.
+
+        Shape (the ``repro.metrics/1`` schema)::
+
+            {"schema": "repro.metrics/1",
+             "counters":   {name: int},
+             "gauges":     {name: {"value", "min", "max"}},
+             "histograms": {name: {"count", "sum", "min", "max",
+                                   "mean", "p50", "p95", "p99"}}}
+
+        Keys are sorted so identical runs produce identical documents.
+        """
+        counters: dict[str, int] = {}
+        gauges: dict[str, dict] = {}
+        histograms: dict[str, dict] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                counters[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[name] = instrument.summary()
+            else:
+                histograms[name] = instrument.summary()
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (callers' cached references go stale)."""
+        self._instruments.clear()
+
+
+# ----------------------------------------------------------------------
+# The no-op twin
+# ----------------------------------------------------------------------
+class _NullCounter:
+    __slots__ = ()
+    name = "null"
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = "null"
+    value = None
+    min = math.inf
+    max = -math.inf
+
+    def set(self, value: float) -> None:
+        pass
+
+    def summary(self) -> dict:
+        return {"value": None, "min": None, "max": None}
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "null"
+    count = 0
+    total = 0.0
+    min = math.inf
+    max = -math.inf
+    mean = None
+
+    def record(self, value: float) -> None:
+        pass
+
+    def percentile(self, p: float) -> None:
+        return None
+
+    def summary(self) -> dict:
+        return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                "mean": None, "p50": None, "p95": None, "p99": None}
+
+    @contextmanager
+    def time(self):
+        yield self
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry whose instruments do nothing — for hot loops.
+
+    ``enabled`` is ``False`` so instrumented code can also skip the
+    clock reads bracketing timed sections.
+    """
+
+    enabled = False
+
+    def counter(self, name: str) -> Counter:
+        return _NULL_COUNTER  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return _NULL_GAUGE  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        return _NULL_HISTOGRAM  # type: ignore[return-value]
+
+    def timer(self, name: str) -> Timer:
+        return _NULL_HISTOGRAM  # type: ignore[return-value]
+
+    def snapshot(self) -> dict:
+        return {"schema": SNAPSHOT_SCHEMA, "counters": {}, "gauges": {},
+                "histograms": {}}
+
+
+#: Shared no-op registry, safe to hand to anything.
+NULL_REGISTRY = NullRegistry()
+
+
+# ----------------------------------------------------------------------
+# The process-wide observability session
+# ----------------------------------------------------------------------
+# Components default to this registry / trace sink when none is passed
+# explicitly, which is what lets `python -m repro <cmd> --metrics-out`
+# observe a whole run without threading a registry through every
+# constructor in the stack.
+_registry: MetricsRegistry = MetricsRegistry()
+_trace_sink = None  # an enabled repro.sim.trace.TraceLog, or None
+
+
+def get_registry() -> MetricsRegistry:
+    """The session's default registry (a real one unless replaced)."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the session registry; returns the previous one."""
+    global _registry
+    previous = _registry
+    _registry = registry
+    return previous
+
+
+def get_trace_sink():
+    """The session's shared trace sink (a TraceLog), or ``None``."""
+    return _trace_sink
+
+
+def set_trace_sink(sink):
+    """Replace the session trace sink (``None`` clears it); returns the
+    previous sink."""
+    global _trace_sink
+    previous = _trace_sink
+    _trace_sink = sink
+    return previous
+
+
+@contextmanager
+def obs_session(registry: "MetricsRegistry | None" = None, trace_sink=None):
+    """Scope a registry (and optional trace sink) as the session default.
+
+    ``registry=None`` installs a fresh :class:`MetricsRegistry`; the
+    previous session state is restored on exit.  Yields the registry.
+    """
+    active = registry if registry is not None else MetricsRegistry()
+    previous_registry = set_registry(active)
+    previous_sink = set_trace_sink(trace_sink)
+    try:
+        yield active
+    finally:
+        set_registry(previous_registry)
+        set_trace_sink(previous_sink)

@@ -22,6 +22,7 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.network.components import LinkId, NodeId
+from repro.obs.registry import get_registry
 from repro.protocol.config import SwitchingScheme
 from repro.protocol.messages import (
     ActivationMessage,
@@ -90,6 +91,13 @@ class BCPDaemon:
         self.views: dict[int, EndpointView] = {}
         self._rejoin_timers: dict[int, Timeout] = {}
         self._probe_timers: dict[int, PeriodicTimer] = {}
+        # Network-wide control-plane counters, shared by every daemon of
+        # the runtime (stub runtimes without .obs fall back to the
+        # session registry).
+        obs = getattr(runtime, "obs", None) or get_registry()
+        self._c_detections = obs.counter("protocol.detections")
+        self._c_reports = obs.counter("protocol.reports_sent")
+        self._c_received = obs.counter("protocol.messages_received")
 
     # ------------------------------------------------------------------
     # registration (channel establishment has already happened; the
@@ -207,6 +215,7 @@ class BCPDaemon:
         if record.state in (LocalChannelState.PRIMARY, LocalChannelState.BACKUP):
             record.transition(LocalChannelState.UNHEALTHY)
             self._start_rejoin_timer(record)
+            self._c_detections.inc()
             self._trace(
                 "detect",
                 f"channel {record.channel_id} lost its {side.value} "
@@ -245,6 +254,7 @@ class BCPDaemon:
             # This node *is* the target end-node.
             self._end_node_learns_failure(record, report)
         else:
+            self._c_reports.inc()
             self._trace(
                 "report",
                 f"failure report for channel {record.channel_id} "
@@ -259,6 +269,7 @@ class BCPDaemon:
         """Dispatch one control message delivered by the RCC layer."""
         if not self._alive():
             return
+        self._c_received.inc()
         record = self.records.get(message.channel_id)
         if record is None:
             return  # the channel was never established through this node
@@ -292,6 +303,7 @@ class BCPDaemon:
         if next_hop is None:
             self._end_node_learns_failure(record, report)
         else:
+            self._c_reports.inc()
             self._send(next_hop, report)
 
     def _end_node_learns_failure(

@@ -21,6 +21,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.network.components import LinkId
+from repro.obs.registry import MetricsRegistry, get_registry
 from repro.protocol.config import ProtocolConfig
 from repro.protocol.messages import ControlMessage, RCCFrame
 from repro.sim.engine import EventEngine, EventHandle
@@ -62,6 +63,7 @@ class RCCLink:
         link_up: Callable[[LinkId], bool],
         deliver: Callable[[ControlMessage], None],
         seed: "int | None" = 0,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.engine = engine
         self.link = link
@@ -70,6 +72,16 @@ class RCCLink:
         self._deliver = deliver
         self._rng = make_rng(seed)
         self.stats = RCCStats()
+        # Network-wide transport metrics: every RCCLink of a runtime
+        # shares these instruments, so they aggregate across links.
+        obs = metrics if metrics is not None else get_registry()
+        self._m_messages = obs.counter("rcc.messages_sent")
+        self._m_frames = obs.counter("rcc.frames_sent")
+        self._m_lost = obs.counter("rcc.frames_lost")
+        self._m_retransmissions = obs.counter("rcc.retransmissions")
+        self._m_gave_up = obs.counter("rcc.gave_up")
+        self._m_queue_depth = obs.gauge("rcc.queue_depth")
+        self._m_batch = obs.histogram("rcc.messages_per_frame")
 
         self._queue: deque[tuple[float, ControlMessage]] = deque()
         self._next_seq = 0
@@ -95,7 +107,9 @@ class RCCLink:
     def send(self, message: ControlMessage) -> None:
         """Queue a control message; it rides the next eligible frame."""
         self.stats.messages_sent += 1
+        self._m_messages.inc()
         self._queue.append((self.engine.now, message))
+        self._m_queue_depth.set(len(self._queue))
         self._schedule_transmission()
 
     def _schedule_transmission(self) -> None:
@@ -116,9 +130,12 @@ class RCCLink:
             enqueued_at, message = self._queue.popleft()
             oldest_enqueue = min(oldest_enqueue, enqueued_at)
             batch.append(message)
+        self._m_queue_depth.set(len(self._queue))
         acks = tuple(self._pending_acks)
         self._pending_acks.clear()
         frame = RCCFrame(seq=self._next_seq, messages=tuple(batch), acks=acks)
+        if batch:
+            self._m_batch.record(len(batch))
         self._next_seq += 1
         self._last_tx = self.engine.now
         if not frame.is_pure_ack:
@@ -132,11 +149,13 @@ class RCCLink:
 
     def _launch(self, frame: RCCFrame) -> None:
         self.stats.frames_sent += 1
+        self._m_frames.inc()
         if not self._link_up(self.link) or (
             self.config.frame_loss_probability > 0
             and self._rng.random() < self.config.frame_loss_probability
         ):
             self.stats.frames_lost += 1
+            self._m_lost.inc()
             return  # lost; the retransmit timer covers non-pure-ack frames
         self.engine.schedule(self.config.rcc.max_delay, self._arrive, frame)
 
@@ -155,11 +174,13 @@ class RCCLink:
             del self._pending[pending.frame.seq]
             self._frame_times.pop(pending.frame.seq, None)
             self.stats.gave_up += 1
+            self._m_gave_up.inc()
             if self.on_give_up is not None:
                 self.on_give_up(self.link)
             return
         pending.retries += 1
         self.stats.retransmissions += 1
+        self._m_retransmissions.inc()
         self._arm_retransmit(pending)
         self._launch(pending.frame)
 

@@ -21,6 +21,7 @@ from repro.channels.channel import ChannelRole
 from repro.core.bcp import BCPNetwork
 from repro.faults.models import FailureScenario
 from repro.network.components import LinkId, NodeId
+from repro.obs.registry import MetricsRegistry, get_registry, get_trace_sink
 from repro.protocol.config import ProtocolConfig
 from repro.protocol.daemon import BackupInfo, BCPDaemon, EndpointView
 from repro.protocol.messages import ControlMessage
@@ -87,15 +88,34 @@ class RecoveryRecord:
 
 
 class ProtocolMetrics:
-    """Event-level counters and per-connection recovery traces."""
+    """Event-level counters and per-connection recovery traces.
 
-    def __init__(self) -> None:
+    Besides the in-object counters/records the class mirrors every event
+    into a :class:`~repro.obs.MetricsRegistry` under ``protocol.*``
+    (counters) and records each connection's measured recovery delay
+    into the ``protocol.recovery_delay`` histogram — the paper's Γ
+    distribution (Section 5.3)."""
+
+    def __init__(self, registry: "MetricsRegistry | None" = None) -> None:
         self.recoveries: dict[int, RecoveryRecord] = {}
         self.preemptions = 0
         self.rejoins = 0
         self.mux_failures = 0
         self.unrecoverable = 0
         self.reestablished = 0
+        obs = registry if registry is not None else get_registry()
+        self._c_primary_failed = obs.counter("protocol.primary_failures")
+        self._c_informed = obs.counter("protocol.endpoint_informed")
+        self._c_activations = obs.counter("protocol.activations")
+        self._c_recoveries = obs.counter("protocol.recoveries")
+        self._c_mux_failures = obs.counter("protocol.mux_failures")
+        self._c_unrecoverable = obs.counter("protocol.unrecoverable")
+        self._c_reestablished = obs.counter("protocol.reestablished")
+        self._c_preemptions = obs.counter("protocol.preemptions")
+        self._c_rejoins = obs.counter("protocol.rejoins")
+        self._h_recovery_delay = obs.histogram("protocol.recovery_delay")
+        self._h_inform_delay = obs.histogram("protocol.inform_delay")
+        self._h_slow_delay = obs.histogram("protocol.slow_recovery_delay")
 
     def _record(self, connection_id: int) -> RecoveryRecord:
         record = self.recoveries.get(connection_id)
@@ -112,6 +132,7 @@ class ProtocolMetrics:
         record = self._record(connection_id)
         if record.failed_at is None:
             record.failed_at = time
+            self._c_primary_failed.inc()
         record.endpoint_failed = record.endpoint_failed or endpoint_failed
 
     def note_endpoint_informed(
@@ -121,13 +142,18 @@ class ProtocolMetrics:
         record = self._record(connection_id)
         if record.informed_at is None:
             record.informed_at = time
+            self._c_informed.inc()
+            if record.failed_at is not None:
+                self._h_inform_delay.record(time - record.failed_at)
 
     def note_activation_sent(
         self, connection_id: int, serial: int, time: float
     ) -> None:
         """Record the source dispatching an activation for ``serial``."""
         record = self._record(connection_id)
-        record.attempts.setdefault(serial, time)
+        if serial not in record.attempts:
+            record.attempts[serial] = time
+            self._c_activations.inc()
 
     def note_source_resumed(
         self, connection_id: int, serial: int, time: float
@@ -135,7 +161,9 @@ class ProtocolMetrics:
         """Record a destination-initiated activation reaching the source."""
         # Scheme 1/3: the destination's activation reached the source.
         record = self._record(connection_id)
-        record.attempts.setdefault(serial, time)
+        if serial not in record.attempts:
+            record.attempts[serial] = time
+            self._c_activations.inc()
 
     def note_completed(self, connection_id: int, serial: int, time: float) -> None:
         """Record a backup becoming fully active end to end."""
@@ -143,12 +171,17 @@ class ProtocolMetrics:
         if record.recovered_serial is None:
             record.recovered_serial = serial
             record.completed_at = time
+            self._c_recoveries.inc()
+            disruption = record.service_disruption
+            if disruption is not None:
+                self._h_recovery_delay.record(disruption)
 
     def note_mux_failure(
         self, connection_id: int, channel_id: int, link: LinkId, time: float
     ) -> None:
         """Count a multiplexing failure on ``link``."""
         self.mux_failures += 1
+        self._c_mux_failures.inc()
         self._record(connection_id).mux_failures += 1
 
     def note_unrecoverable(
@@ -159,6 +192,7 @@ class ProtocolMetrics:
         if not record.unrecoverable:
             record.unrecoverable = True
             self.unrecoverable += 1
+            self._c_unrecoverable.inc()
 
     def note_reestablished(
         self, connection_id: int, time: float, hops: int
@@ -169,18 +203,24 @@ class ProtocolMetrics:
             record.reestablished_at = time
             record.reestablished_hops = hops
             self.reestablished += 1
+            self._c_reestablished.inc()
+            slow = record.slow_recovery_disruption
+            if slow is not None:
+                self._h_slow_delay.record(slow)
 
     def note_preemption(
         self, connection_id: int, channel_id: int, time: float
     ) -> None:
         """Count a lower-priority backup losing its spare."""
         self.preemptions += 1
+        self._c_preemptions.inc()
 
     def note_rejoined(
         self, connection_id: int, channel_id: int, time: float
     ) -> None:
         """Count a channel healing via the rejoin machinery."""
         self.rejoins += 1
+        self._c_rejoins.inc()
 
     # -- summaries --------------------------------------------------------
     def service_disruptions(self) -> dict[int, float]:
@@ -212,12 +252,20 @@ class ProtocolSimulation:
         config: ProtocolConfig | None = None,
         seed: "int | None" = 0,
         trace: bool = False,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.network = network
         self.config = config or ProtocolConfig()
-        self.engine = EventEngine()
-        self.metrics = ProtocolMetrics()
-        self.trace = TraceLog(enabled=trace)
+        #: Metrics registry every layer of this runtime records into
+        #: (session default unless one is passed explicitly).
+        self.obs = metrics if metrics is not None else get_registry()
+        self.engine = EventEngine(metrics=self.obs)
+        self.metrics = ProtocolMetrics(self.obs)
+        # When the session has a shared trace sink (e.g. the CLI's
+        # --trace-out), record straight into it so the whole run exports
+        # as one timeline; otherwise keep a private per-run log.
+        sink = get_trace_sink()
+        self.trace = sink if sink is not None else TraceLog(enabled=trace)
         self.failed_components: set = set()
 
         rng = make_rng(seed)
@@ -233,6 +281,7 @@ class ProtocolSimulation:
                 link_up=self.link_up,
                 deliver=self._make_deliver(link.dst),
                 seed=rng.getrandbits(64),
+                metrics=self.obs,
             )
         for link, rcc in self._rcc.items():
             reverse = self._rcc.get(link.reversed())
@@ -668,10 +717,11 @@ def simulate_scenario(
     failure_time: float = 1.0,
     horizon: float = 500.0,
     seed: "int | None" = 0,
+    metrics: "MetricsRegistry | None" = None,
 ) -> ProtocolMetrics:
     """Convenience wrapper: inject one scenario into a fresh runtime, run
     to ``horizon``, return the metrics."""
-    simulation = ProtocolSimulation(network, config, seed)
+    simulation = ProtocolSimulation(network, config, seed, metrics=metrics)
     simulation.inject_scenario(scenario, failure_time)
     simulation.run(until=horizon)
     return simulation.metrics

@@ -3,14 +3,24 @@
 Events are callbacks scheduled at absolute times.  Same-time events fire
 in scheduling order (a monotone sequence number breaks ties), which keeps
 protocol runs fully deterministic.
+
+The engine is instrumented (see :mod:`repro.obs`): it counts schedules,
+cancellations, and firings, tracks the heap-depth high-water mark, and —
+when the registry is a real one — records per-callback-category wall
+time.  Pass ``metrics=NULL_REGISTRY`` to de-instrument a hot loop; by
+default the session registry is used.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any
+
+from repro.obs.registry import MetricsRegistry, get_registry
 
 
 class SimulationError(Exception):
@@ -23,15 +33,18 @@ class _ScheduledEvent:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
+    category: str = field(default="", compare=False)
 
 
 class EventHandle:
     """Handle to a scheduled event; supports cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_engine")
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(self, event: _ScheduledEvent, engine: "EventEngine") -> None:
         self._event = event
+        self._engine = engine
 
     @property
     def time(self) -> float:
@@ -45,17 +58,33 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Cancel the event; cancelling a fired/cancelled event is a no-op."""
-        self._event.cancelled = True
+        event = self._event
+        if not event.cancelled and not event.fired:
+            self._engine._live -= 1
+            self._engine._c_cancelled.inc()
+        event.cancelled = True
 
 
 class EventEngine:
     """A discrete-event clock and calendar."""
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: "MetricsRegistry | None" = None) -> None:
         self._now = 0.0
         self._seq = 0
         self._heap: list[_ScheduledEvent] = []
         self._events_processed = 0
+        #: Live count of non-cancelled events in the calendar, maintained
+        #: on push/fire/cancel so :attr:`pending` is O(1).
+        self._live = 0
+        self._metrics = metrics if metrics is not None else get_registry()
+        self._timed = self._metrics.enabled
+        self._c_fired = self._metrics.counter("engine.events_fired")
+        self._c_scheduled = self._metrics.counter("engine.events_scheduled")
+        self._c_cancelled = self._metrics.counter("engine.events_cancelled")
+        self._g_heap = self._metrics.gauge("engine.heap_depth")
+        #: Callback category -> cached Timer (avoids a registry lookup and
+        #: string build per event).
+        self._category_timers: dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -70,43 +99,72 @@ class EventEngine:
 
     @property
     def pending(self) -> int:
-        """Number of events still in the calendar (including cancelled
-        tombstones not yet popped)."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of non-cancelled events still in the calendar (cancelled
+        tombstones awaiting their pop are excluded).  O(1)."""
+        return self._live
 
     # ------------------------------------------------------------------
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any
     ) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` from now."""
+        if not math.isfinite(delay):
+            raise SimulationError(f"cannot schedule non-finite delay {delay!r}")
         if delay < 0:
-            raise SimulationError(f"cannot schedule {delay} in the past")
+            raise SimulationError(f"cannot schedule {delay!r} in the past")
         return self.schedule_at(self._now + delay, callback, *args)
 
     def schedule_at(
         self, time: float, callback: Callable[..., None], *args: Any
     ) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute ``time``."""
+        if not math.isfinite(time):
+            # NaN would also silently corrupt heap ordering (every
+            # comparison against it is False), so reject loudly.
+            raise SimulationError(f"cannot schedule at non-finite time {time!r}")
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time}; clock is already at {self._now}"
             )
+        category = getattr(callback, "__qualname__", None) \
+            or type(callback).__name__
         bound = (lambda: callback(*args)) if args else callback
-        event = _ScheduledEvent(time=time, seq=self._seq, callback=bound)
+        event = _ScheduledEvent(time=time, seq=self._seq, callback=bound,
+                                category=category)
         self._seq += 1
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        self._live += 1
+        self._c_scheduled.inc()
+        self._g_heap.set(len(self._heap))
+        return EventHandle(event, self)
 
     # ------------------------------------------------------------------
+    def _fire(self, event: _ScheduledEvent) -> None:
+        event.fired = True
+        self._live -= 1
+        self._now = event.time
+        self._events_processed += 1
+        self._c_fired.inc()
+        if not self._timed:
+            event.callback()
+            return
+        timer = self._category_timers.get(event.category)
+        if timer is None:
+            timer = self._metrics.timer(f"engine.callback_s.{event.category}")
+            self._category_timers[event.category] = timer
+        start = perf_counter()
+        try:
+            event.callback()
+        finally:
+            timer.record(perf_counter() - start)
+
     def step(self) -> bool:
         """Fire the next pending event; returns ``False`` when idle."""
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
-            self._now = event.time
-            self._events_processed += 1
-            event.callback()
+            self._fire(event)
             return True
         return False
 

@@ -8,11 +8,19 @@ orderings rather than only on end states.
 
 Tracing is off by default; a disabled log's :meth:`record` is a cheap
 no-op so instrumented code needs no guards.
+
+Logs are exportable as JSONL (:meth:`TraceLog.to_jsonl`): one JSON
+object per event, in recording order, with keys ``time`` / ``category``
+/ ``node`` / ``description`` — the ``repro.trace/1`` schema documented
+in docs/architecture.md.  Non-primitive node ids (e.g.
+:class:`~repro.network.components.LinkId`) are exported as their
+``str()`` form.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+import json
+from collections.abc import Collection, Iterable, Iterator
 from dataclasses import dataclass, field
 
 
@@ -28,6 +36,18 @@ class TraceEvent:
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"[{self.time:10.3f}] {self.category:<12} @{self.node}: " \
                f"{self.description}"
+
+    def to_dict(self) -> dict:
+        """The event as a JSON-ready dict (``repro.trace/1`` row)."""
+        node = self.node
+        if not isinstance(node, (int, float, str, bool, type(None))):
+            node = str(node)
+        return {
+            "time": self.time,
+            "category": self.category,
+            "node": node,
+            "description": self.description,
+        }
 
 
 @dataclass
@@ -47,15 +67,23 @@ class TraceLog:
     # ------------------------------------------------------------------
     def filter(
         self,
-        category: "str | None" = None,
+        category: "str | Collection[str] | None" = None,
         node: object = None,
         since: "float | None" = None,
         until: "float | None" = None,
     ) -> list[TraceEvent]:
-        """Events matching all given criteria, in recording order."""
+        """Events matching all given criteria, in recording order.
+
+        ``category`` may be a single name or any collection of names
+        (membership match).
+        """
         selected: Iterable[TraceEvent] = self.events
         if category is not None:
-            selected = (e for e in selected if e.category == category)
+            if isinstance(category, str):
+                selected = (e for e in selected if e.category == category)
+            else:
+                wanted = frozenset(category)
+                selected = (e for e in selected if e.category in wanted)
         if node is not None:
             selected = (e for e in selected if e.node == node)
         if since is not None:
@@ -71,17 +99,39 @@ class TraceLog:
             counts[event.category] = counts.get(event.category, 0) + 1
         return counts
 
-    def format(self, limit: "int | None" = None) -> str:
-        """Human-readable timeline (optionally the first ``limit`` rows)."""
-        rows = self.events if limit is None else self.events[:limit]
-        lines = [
+    def format(self, limit: "int | None" = None,
+               tail: "int | None" = None) -> str:
+        """Human-readable timeline — the first ``limit`` rows, or the last
+        ``tail`` rows (mutually exclusive)."""
+        if limit is not None and tail is not None:
+            raise ValueError("pass at most one of limit and tail")
+        lines: list[str] = []
+        rows = self.events
+        if tail is not None:
+            rows = self.events[-tail:] if tail else []
+            if len(self.events) > len(rows):
+                lines.append(f"... ({len(self.events) - len(rows)} earlier)")
+        elif limit is not None:
+            rows = self.events[:limit]
+        lines.extend(
             f"[{event.time:10.3f}] {event.category:<12} "
             f"@{event.node}: {event.description}"
             for event in rows
-        ]
+        )
         if limit is not None and len(self.events) > limit:
             lines.append(f"... ({len(self.events) - limit} more)")
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def to_dicts(self) -> Iterator[dict]:
+        """Every event as a JSON-ready dict, in recording order."""
+        return (event.to_dict() for event in self.events)
+
+    def to_jsonl(self) -> str:
+        """The log as JSONL (one compact JSON object per line, trailing
+        newline; empty string for an empty log)."""
+        lines = [json.dumps(row, sort_keys=True) for row in self.to_dicts()]
+        return "\n".join(lines) + ("\n" if lines else "")
 
     def __len__(self) -> int:
         return len(self.events)

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import SNAPSHOT_SCHEMA
 
 SMALL = ["--rows", "4", "--cols", "4"]
 
@@ -92,3 +95,53 @@ class TestCommands:
         assert main(["table1", "--topology", "mesh", "--degrees", "3",
                      "--double-samples", "5"] + SMALL) == 0
         assert "mesh" in capsys.readouterr().out
+
+    def test_stats(self, capsys):
+        assert main(["stats"] + SMALL) == 0
+        out = capsys.readouterr().out
+        assert "repro stats" in out
+        assert "connections recovered via backup" in out
+        assert "protocol.recoveries" in out
+        assert "engine.events_fired" in out
+
+
+class TestObservabilityFlags:
+    def test_every_subcommand_has_the_flags(self):
+        parser = build_parser()
+        subparsers = parser._subparsers._group_actions[0]
+        for name, sub in subparsers.choices.items():
+            options = {opt for action in sub._actions
+                       for opt in action.option_strings}
+            assert "--metrics-out" in options, name
+            assert "--trace-out" in options, name
+
+    def test_metrics_out(self, capsys, tmp_path):
+        target = tmp_path / "m.json"
+        assert main(["table1", "--degrees", "3", "--double-samples", "5",
+                     "--metrics-out", str(target)] + SMALL) == 0
+        document = json.loads(target.read_text())
+        assert document["schema"] == SNAPSHOT_SCHEMA
+        assert document["command"] == "table1"
+        assert document["counters"]["evaluator.scenarios"] > 0
+
+    def test_trace_out(self, capsys, tmp_path):
+        target = tmp_path / "t.jsonl"
+        assert main(["stats", "--trace-out", str(target)] + SMALL) == 0
+        rows = [json.loads(line) for line in target.read_text().splitlines()]
+        assert rows, "trace export should not be empty"
+        assert {"time", "category", "node", "description"} <= set(rows[0])
+        assert any(row["category"] == "recovered" for row in rows)
+
+    def test_exports_reproducible(self, capsys, tmp_path):
+        def run(tag):
+            metrics = tmp_path / f"m{tag}.json"
+            trace = tmp_path / f"t{tag}.jsonl"
+            assert main(["stats", "--metrics-out", str(metrics),
+                         "--trace-out", str(trace)] + SMALL) == 0
+            capsys.readouterr()
+            document = json.loads(metrics.read_text())
+            # Timer values are wall-clock; drop them before comparing.
+            document.pop("histograms", None)
+            return document, trace.read_text()
+
+        assert run("a") == run("b")

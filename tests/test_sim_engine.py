@@ -111,6 +111,49 @@ class TestEventEngine:
         engine.run()
         assert engine.events_processed == 1
 
+    def test_pending_tracks_schedule_fire_cancel(self):
+        engine = EventEngine()
+        assert engine.pending == 0
+        handles = [engine.schedule(float(i + 1), lambda: None)
+                   for i in range(3)]
+        assert engine.pending == 3
+        engine.step()
+        assert engine.pending == 2
+        handles[1].cancel()
+        assert engine.pending == 1
+        engine.run()
+        assert engine.pending == 0
+
+    def test_cancel_is_idempotent(self):
+        engine = EventEngine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()  # second cancel must not double-decrement
+        assert engine.pending == 1
+
+    def test_cancel_after_fire_is_noop(self):
+        engine = EventEngine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.step()
+        handle.cancel()  # already fired; pending must not go negative
+        assert engine.pending == 1
+        engine.run()
+        assert engine.pending == 0
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     -float("inf")])
+    def test_non_finite_delay_rejected(self, bad):
+        with pytest.raises(SimulationError):
+            EventEngine().schedule(bad, lambda: None)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     -float("inf")])
+    def test_non_finite_absolute_time_rejected(self, bad):
+        with pytest.raises(SimulationError):
+            EventEngine().schedule_at(bad, lambda: None)
+
 
 class TestTimeout:
     def test_fires_after_duration(self):

@@ -48,6 +48,48 @@ class TestTraceLog:
         assert "one" in log.format()
         assert "more" in log.format(limit=1)
 
+    def test_filter_accepts_category_set(self):
+        log = TraceLog()
+        log.record(1.0, "a", 1, "one")
+        log.record(2.0, "b", 1, "two")
+        log.record(3.0, "c", 2, "three")
+        assert len(log.filter(category={"a", "c"})) == 2
+        assert len(log.filter(category=("b",))) == 1
+        assert log.filter(category=set()) == []
+        # Combined with node/time filters.
+        assert len(log.filter(category={"a", "b", "c"}, node=1)) == 2
+        assert len(log.filter(category={"b", "c"}, since=2.5)) == 1
+
+    def test_format_tail(self):
+        log = TraceLog()
+        for i in range(5):
+            log.record(float(i), "a", 1, f"event{i}")
+        tail = log.format(tail=2)
+        assert "event4" in tail and "event3" in tail
+        assert "event0" not in tail
+        assert "3 earlier" in tail
+        # A tail wider than the log shows everything, no marker.
+        assert "earlier" not in log.format(tail=10)
+
+    def test_format_limit_and_tail_exclusive(self):
+        log = TraceLog()
+        with pytest.raises(ValueError):
+            log.format(limit=1, tail=1)
+
+    def test_to_jsonl(self):
+        import json
+
+        log = TraceLog()
+        assert log.to_jsonl() == ""
+        log.record(1.5, "a", 1, "one")
+        log.record(2.0, "b", None, "two")
+        text = log.to_jsonl()
+        assert text.endswith("\n")
+        rows = [json.loads(line) for line in text.splitlines()]
+        assert rows[0] == {"time": 1.5, "category": "a", "node": 1,
+                           "description": "one"}
+        assert rows[1]["node"] is None
+
 
 class TestProtocolTracing:
     def test_recovery_leaves_causal_trail(self, traced_run):
