@@ -12,7 +12,7 @@ Run:  python examples/isp_backbone.py
 """
 
 from repro import BCPNetwork, EstablishmentError, FaultToleranceQoS, TrafficSpec
-from repro.faults import FailureScenario, all_single_link_failures
+from repro.faults import FailureScenario
 from repro.network import from_edge_list
 from repro.recovery import RecoveryEvaluator, by_source, evaluate_grouped
 from repro.util.tables import format_percent, format_table

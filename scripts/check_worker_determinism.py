@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""CI gate: parallel evaluation must not change any result.
+
+Runs the same scenario evaluations with ``--workers 1`` and
+``--workers N`` (default 2) and fails loudly if anything diverges:
+
+* ``RecoveryStats`` dataclass equality (every field, including the
+  float accumulators — the shard structure is worker-count independent,
+  so even non-associative float sums must match bit-for-bit),
+* ``repro.metrics/1`` counter maps,
+* grouped (per-mux-degree) evaluation,
+* the fully formatted Table 1 panel produced by the experiment driver.
+
+Usage: PYTHONPATH=src python scripts/check_worker_determinism.py [N]
+"""
+
+from __future__ import annotations
+
+import sys
+from time import perf_counter
+
+from repro.channels.qos import FaultToleranceQoS
+from repro.experiments.setup import NetworkConfig, load_network
+from repro.experiments.table1 import run_table1
+from repro.faults import all_single_link_failures, all_single_node_failures
+from repro.obs.registry import MetricsRegistry
+from repro.parallel import evaluate_scenarios, evaluate_scenarios_grouped
+from repro.recovery import ActivationOrder
+from repro.recovery.grouping import by_mux_degree
+
+CONFIG = NetworkConfig(topology="torus", rows=4, cols=4)
+SEED = 0
+
+
+def _fail(what: str, one, many) -> None:
+    print(f"DIVERGENCE in {what}:")
+    print(f"  workers=1: {one!r}")
+    print(f"  workers=N: {many!r}")
+    sys.exit(1)
+
+
+def check_stats(network, scenarios, workers: int) -> None:
+    for order in (ActivationOrder.PRIORITY, ActivationOrder.RANDOM):
+        reg1, regn = MetricsRegistry(), MetricsRegistry()
+        one = evaluate_scenarios(
+            network, scenarios, workers=1, order=order, seed=SEED,
+            metrics=reg1,
+        )
+        many = evaluate_scenarios(
+            network, scenarios, workers=workers, order=order, seed=SEED,
+            metrics=regn,
+        )
+        if one != many:
+            _fail(f"RecoveryStats ({order.name} order)", one, many)
+        counters1 = reg1.snapshot()["counters"]
+        countersn = regn.snapshot()["counters"]
+        if counters1 != countersn:
+            _fail(f"metric counters ({order.name} order)",
+                  counters1, countersn)
+        print(f"  stats + counters identical ({order.name} order, "
+              f"{one.scenarios} scenarios)")
+
+
+def check_grouped(network, scenarios, workers: int) -> None:
+    one = evaluate_scenarios_grouped(
+        network, scenarios, key=by_mux_degree, workers=1, seed=SEED,
+        metrics=MetricsRegistry(),
+    )
+    many = evaluate_scenarios_grouped(
+        network, scenarios, key=by_mux_degree, workers=workers, seed=SEED,
+        metrics=MetricsRegistry(),
+    )
+    if one != many:
+        _fail("grouped RecoveryStats", one, many)
+    print(f"  grouped stats identical ({len(one)} groups)")
+
+
+def check_table1(workers: int) -> None:
+    start = perf_counter()
+    one = run_table1(CONFIG, double_node_samples=20, seed=SEED,
+                     workers=1).format()
+    serial = perf_counter() - start
+    start = perf_counter()
+    many = run_table1(CONFIG, double_node_samples=20, seed=SEED,
+                      workers=workers).format()
+    parallel = perf_counter() - start
+    if one != many:
+        _fail("formatted Table 1 panel", one, many)
+    print(f"  Table 1 panels identical "
+          f"(serial {serial:.2f}s, workers={workers} {parallel:.2f}s)")
+
+
+def main() -> None:
+    workers = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+    if workers < 2:
+        raise SystemExit("worker count under test must be >= 2")
+    print(f"Checking workers=1 vs workers={workers} on {CONFIG.label}...")
+    network, _ = load_network(
+        CONFIG, FaultToleranceQoS(num_backups=1, mux_degree=3)
+    )
+    scenarios = (
+        all_single_link_failures(network.topology)
+        + all_single_node_failures(network.topology)
+    )
+    check_stats(network, scenarios, workers)
+    check_grouped(network, scenarios, workers)
+    check_table1(workers)
+    print("OK: parallel evaluation is deterministic.")
+
+
+if __name__ == "__main__":
+    main()

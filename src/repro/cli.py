@@ -14,9 +14,11 @@ to stdout.  The default 8x8 scale takes seconds-to-minutes per table;
 ``--rows 4 --cols 4`` gives a fast small-scale pass.
 
 Every subcommand also accepts ``--metrics-out PATH`` (write the run's
-``repro.metrics/1`` snapshot as JSON) and ``--trace-out PATH`` (write
-the run's structured trace as JSONL); see the Observability section of
-docs/architecture.md for the schemas.
+``repro.metrics/1`` snapshot as JSON), ``--trace-out PATH`` (write the
+run's structured trace as JSONL), and ``--workers N`` (fan scenario
+evaluation out over N worker processes, ``auto`` = one per CPU;
+results are identical for any worker count); see the Observability and
+Parallel execution sections of docs/architecture.md.
 """
 
 from __future__ import annotations
@@ -49,6 +51,23 @@ from repro.experiments import (
 from repro.experiments.ablations import run_ablations
 from repro.experiments.scaling import run_scaling
 from repro.experiments.setup import NetworkConfig
+
+
+def _parse_workers(text: str) -> "int | None":
+    """``auto`` -> one worker per CPU (None); else a positive integer."""
+    if text == "auto":
+        return None
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"workers must be a positive integer or 'auto', got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"workers must be >= 1, got {value}"
+        )
+    return value
 
 
 def _parse_degrees(text: str) -> tuple[int, ...]:
@@ -176,8 +195,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail this many links (lexicographically first)")
     stats.add_argument("--horizon", type=float, default=200.0)
 
-    # Observability flags are global: every subcommand exports the same
-    # way (the whole run records into one session registry/trace sink).
+    # Observability and execution flags are global: every subcommand
+    # exports the same way (the whole run records into one session
+    # registry/trace sink) and shares the worker-pool setting.
     for sub in subparsers.choices.values():
         sub.add_argument(
             "--metrics-out", metavar="PATH", default=None,
@@ -185,6 +205,11 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--trace-out", metavar="PATH", default=None,
             help="write the run's structured trace as JSONL (repro.trace/1)")
+        sub.add_argument(
+            "--workers", metavar="N", type=_parse_workers, default=None,
+            help="worker processes for parallel evaluation (positive "
+                 "integer or 'auto' = one per CPU; default auto). Results "
+                 "are identical for any worker count.")
 
     return parser
 
@@ -229,28 +254,34 @@ def _run_command(args: argparse.Namespace) -> str:
     if args.command == "table1":
         return run_table1(config, num_backups=args.backups,
                           mux_degrees=args.degrees,
-                          double_node_samples=args.double_samples).format()
+                          double_node_samples=args.double_samples,
+                          workers=args.workers).format()
     if args.command == "table2":
         return run_table2(config, num_backups=args.backups,
                           classes=args.classes,
-                          double_node_samples=args.double_samples).format()
+                          double_node_samples=args.double_samples,
+                          workers=args.workers).format()
     if args.command == "table3":
         return run_table3(config, num_backups=args.backups,
                           mux_degrees=args.degrees,
-                          double_node_samples=args.double_samples).format()
+                          double_node_samples=args.double_samples,
+                          workers=args.workers).format()
     if args.command == "delay-bound":
         return run_delay_bound(config, num_backups=args.backups,
-                               sample_connections=args.connections).format()
+                               sample_connections=args.connections,
+                               workers=args.workers).format()
     if args.command == "rcc-sizing":
         return run_rcc_sizing(config).format()
     if args.command == "reliability":
-        return run_reliability(config).format()
+        return run_reliability(config, workers=args.workers).format()
     if args.command == "inhomogeneous":
         return run_inhomogeneous(rows=args.rows, cols=args.cols,
-                                 mux_degree=args.mux).format()
+                                 mux_degree=args.mux,
+                                 workers=args.workers).format()
     if args.command == "message-loss":
         return run_message_loss(config, message_rate=args.rate,
-                                sample_connections=args.connections).format()
+                                sample_connections=args.connections,
+                                workers=args.workers).format()
     if args.command == "baselines":
         return run_baseline_comparison(config,
                                        bcp_mux_degree=args.mux).format()
@@ -258,13 +289,15 @@ def _run_command(args: argparse.Namespace) -> str:
         return run_scaling(mux_degree=args.mux,
                            torus_sizes=args.sizes).format()
     if args.command == "ablations":
-        return run_ablations(config, mux_degree=args.mux).format()
+        return run_ablations(config, mux_degree=args.mux,
+                             workers=args.workers).format()
     if args.command == "report":
         from repro.experiments.report import generate_report
 
         result = generate_report(
             config, double_node_samples=args.double_samples,
             include_double_backups=(args.topology == "torus"),
+            workers=args.workers,
         )
         target = result.save(args.output)
         return (
@@ -280,18 +313,21 @@ def _run_command(args: argparse.Namespace) -> str:
                 continue  # topologically impossible (paper Section 7.1)
             sections.append(
                 run_table1(config, num_backups=backups,
-                           double_node_samples=args.double_samples).format()
+                           double_node_samples=args.double_samples,
+                           workers=args.workers).format()
             )
         sections.append(
             run_table2(config,
-                       double_node_samples=args.double_samples).format())
+                       double_node_samples=args.double_samples,
+                       workers=args.workers).format())
         sections.append(
             run_table3(config,
-                       double_node_samples=args.double_samples).format())
+                       double_node_samples=args.double_samples,
+                       workers=args.workers).format())
         sections.append(run_figure9(config).format())
-        sections.append(run_delay_bound(config).format())
+        sections.append(run_delay_bound(config, workers=args.workers).format())
         sections.append(run_rcc_sizing(config).format())
-        sections.append(run_reliability(config).format())
+        sections.append(run_reliability(config, workers=args.workers).format())
         return "\n\n".join(sections)
     raise AssertionError(f"unhandled command {args.command!r}")
 

@@ -21,7 +21,7 @@ from repro.channels.channel import Channel
 from repro.channels.qos import DelayQoS, FaultToleranceQoS
 from repro.channels.registry import ChannelRegistry
 from repro.channels.traffic import TrafficSpec
-from repro.core.dconnection import ConnectionState, DConnection
+from repro.core.dconnection import DConnection
 from repro.core.establishment import (
     EstablishmentEngine,
     EstablishmentError,

@@ -33,7 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.channels.channel import Channel, ChannelRole
-from repro.core.overlap import OverlapPolicy
+from repro.core.overlap import OverlapIndex, OverlapPolicy
 from repro.network.components import LinkId
 from repro.routing.paths import Path
 from repro.util.validation import check_positive
@@ -57,10 +57,19 @@ class MuxEntry:
 class LinkMuxState:
     """Multiplexing state of the backups on one simplex link."""
 
-    def __init__(self, link: LinkId, policy: OverlapPolicy) -> None:
+    def __init__(
+        self,
+        link: LinkId,
+        policy: OverlapPolicy,
+        overlaps: "OverlapIndex | None" = None,
+    ) -> None:
         self.link = link
         self.policy = policy
+        #: Shared-count cache, usually shared across every link of an
+        #: engine (the same backup pair meets on many links).
+        self.overlaps = overlaps
         self._entries: dict[int, MuxEntry] = {}
+        self._spare_required = 0.0
 
     # ------------------------------------------------------------------
     # queries
@@ -80,10 +89,12 @@ class LinkMuxState:
         return self._entries[channel_id]
 
     def spare_required(self) -> float:
-        """The pool size required by the current backup set."""
-        return max(
-            (entry.requirement for entry in self._entries.values()), default=0.0
-        )
+        """The pool size required by the current backup set.
+
+        O(1): the maximum is maintained incrementally by :meth:`add` /
+        :meth:`remove` instead of being recomputed per query.
+        """
+        return self._spare_required
 
     def spare_required_recomputed(self) -> float:
         """O(n²) from-scratch recomputation — validation oracle for the
@@ -134,6 +145,11 @@ class LinkMuxState:
     # pair tests
     # ------------------------------------------------------------------
     def _shared(self, a: MuxEntry, b: MuxEntry) -> int:
+        if self.overlaps is not None and a.channel_id >= 0 and b.channel_id >= 0:
+            return self.overlaps.shared_count(
+                a.channel_id, a.primary_components,
+                b.channel_id, b.primary_components,
+            )
         return len(a.primary_components & b.primary_components)
 
     def _multiplexable(self, perspective: MuxEntry, other: MuxEntry) -> bool:
@@ -210,6 +226,9 @@ class LinkMuxState:
             primary_count=primary_count,
         )
         entry.requirement = bandwidth
+        # Requirements only grow on add, so the cached maximum needs at
+        # most the new entry's requirement and the ones that just grew.
+        peak = self._spare_required
         for other in self._entries.values():
             if self._in_pi(entry, other):
                 entry.conflicts.add(other.channel_id)
@@ -217,8 +236,11 @@ class LinkMuxState:
             if self._in_pi(other, entry):
                 other.conflicts.add(channel_id)
                 other.requirement += bandwidth
+                if other.requirement > peak:
+                    peak = other.requirement
         self._entries[channel_id] = entry
-        return self.spare_required()
+        self._spare_required = max(peak, entry.requirement)
+        return self._spare_required
 
     def remove(self, channel_id: int) -> float:
         """Deregister a backup; returns the new required pool size."""
@@ -229,7 +251,12 @@ class LinkMuxState:
             if channel_id in other.conflicts:
                 other.conflicts.discard(channel_id)
                 other.requirement -= entry.bandwidth
-        return self.spare_required()
+        # Requirements only shrink on remove; the old maximum may be gone.
+        self._spare_required = max(
+            (other.requirement for other in self._entries.values()),
+            default=0.0,
+        )
+        return self._spare_required
 
 
 class MultiplexingEngine:
@@ -243,13 +270,16 @@ class MultiplexingEngine:
 
     def __init__(self, policy: OverlapPolicy | None = None) -> None:
         self.policy = policy or OverlapPolicy()
+        #: Engine-wide shared-count cache: a backup pair sharing k links
+        #: costs one set intersection instead of k.
+        self.overlaps = OverlapIndex()
         self._links: dict[LinkId, LinkMuxState] = {}
 
     def link_state(self, link: LinkId) -> LinkMuxState:
         """The (lazily created) multiplexing state of ``link``."""
         state = self._links.get(link)
         if state is None:
-            state = LinkMuxState(link, self.policy)
+            state = LinkMuxState(link, self.policy, overlaps=self.overlaps)
             self._links[link] = state
         return state
 
@@ -283,6 +313,7 @@ class MultiplexingEngine:
         if backup.role is not ChannelRole.BACKUP:
             raise ValueError(f"channel {backup.channel_id} is not a backup")
         components, count = self._describe(backup, primary)
+        self.overlaps.register(backup.channel_id)
         return {
             link: self.link_state(link).add(
                 backup.channel_id,
@@ -297,10 +328,12 @@ class MultiplexingEngine:
     def remove_backup(self, backup: Channel) -> dict[LinkId, float]:
         """Deregister ``backup`` from every link of its path; returns the
         new required pool size per link."""
-        return {
+        requirements = {
             link: self.link_state(link).remove(backup.channel_id)
             for link in backup.path.links
         }
+        self.overlaps.unregister(backup.channel_id)
+        return requirements
 
     def psi_sizes(self, backup: Channel) -> dict[LinkId, int]:
         """|Ψ(B_i, ℓ)| for every link of the backup's path — the inputs of

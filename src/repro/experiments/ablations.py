@@ -27,7 +27,8 @@ from repro.experiments.setup import (
     load_network,
     standard_failure_models,
 )
-from repro.recovery.evaluator import ActivationOrder, RecoveryEvaluator
+from repro.parallel import evaluate_scenarios
+from repro.recovery.evaluator import ActivationOrder
 from repro.util.tables import format_percent, format_table
 
 
@@ -74,33 +75,40 @@ def run_ablations(
     mux_degree: int = 5,
     double_node_samples: int = 0,
     seed: "int | None" = 0,
+    workers: "int | None" = 1,
 ) -> AblationResult:
-    """Measure each design-choice variant's spare and R_fast."""
+    """Measure each design-choice variant's spare and R_fast.
+
+    ``workers`` fans the scenario evaluation out over processes (``None``
+    = one per CPU); results are identical for any worker count.
+    """
     config = config or NetworkConfig()
     result = AblationResult(config=config, mux_degree=mux_degree)
     qos = FaultToleranceQoS(num_backups=1, mux_degree=mux_degree)
 
-    def evaluate(network, evaluator) -> tuple:
+    def evaluate(network, **evaluator_kwargs) -> tuple:
         models = standard_failure_models(network.topology,
                                          double_node_samples, seed)
-        link = evaluator.evaluate_many(models["1 link failure"]).r_fast
-        node = evaluator.evaluate_many(models["1 node failure"]).r_fast
+        link = evaluate_scenarios(
+            network, models["1 link failure"],
+            workers=workers, seed=seed, **evaluator_kwargs,
+        ).r_fast
+        node = evaluate_scenarios(
+            network, models["1 node failure"],
+            workers=workers, seed=seed, **evaluator_kwargs,
+        ).r_fast
         return link, node
 
     # Baseline: paper-literal policy, priority activation.
     baseline_network, _ = load_network(config, qos)
     spare = baseline_network.spare_fraction()
-    for name, evaluator in (
-        ("baseline (priority order)", RecoveryEvaluator(
-            baseline_network, order=ActivationOrder.PRIORITY, seed=seed)),
-        ("establishment order", RecoveryEvaluator(
-            baseline_network, order=ActivationOrder.CONNECTION_ID, seed=seed)),
-        ("random order", RecoveryEvaluator(
-            baseline_network, order=ActivationOrder.RANDOM, seed=seed)),
-        ("free-capacity fallback", RecoveryEvaluator(
-            baseline_network, free_capacity_fallback=True, seed=seed)),
+    for name, evaluator_kwargs in (
+        ("baseline (priority order)", {"order": ActivationOrder.PRIORITY}),
+        ("establishment order", {"order": ActivationOrder.CONNECTION_ID}),
+        ("random order", {"order": ActivationOrder.RANDOM}),
+        ("free-capacity fallback", {"free_capacity_fallback": True}),
     ):
-        link, node = evaluate(baseline_network, evaluator)
+        link, node = evaluate(baseline_network, **evaluator_kwargs)
         result.rows.append(AblationRow(name, spare, link, node))
 
     # Policy variants need their own establishment.
@@ -109,8 +117,7 @@ def run_ablations(
         ("endpoints not counted", OverlapPolicy(count_endpoints=False)),
     ):
         network, _ = load_network(config, qos, policy=policy)
-        evaluator = RecoveryEvaluator(network, seed=seed)
-        link, node = evaluate(network, evaluator)
+        link, node = evaluate(network)
         result.rows.append(
             AblationRow(name, network.spare_fraction(), link, node)
         )

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.baselines.bruteforce import brute_force_evaluator
+from repro.baselines.bruteforce import uniform_spare_amount
 from repro.channels.qos import FaultToleranceQoS
 from repro.core.bcp import BCPNetwork
 from repro.core.overlap import OverlapPolicy
@@ -29,7 +29,7 @@ from repro.experiments.workloads import (
 )
 from repro.faults.enumerate import all_single_link_failures
 from repro.network.generators import mesh, random_regular, torus
-from repro.recovery.evaluator import RecoveryEvaluator
+from repro.parallel import evaluate_scenarios
 from repro.util.tables import format_percent, format_table
 
 
@@ -88,8 +88,13 @@ def run_inhomogeneous(
     num_backups: int = 1,
     hotspot_count: int = 4,
     seed: int = 0,
+    workers: "int | None" = 1,
 ) -> InhomogeneousResult:
-    """Sweep workload variants across topologies."""
+    """Sweep workload variants across topologies.
+
+    ``workers`` fans the scenario evaluation out over processes (``None``
+    = one per CPU); results are identical for any worker count.
+    """
     result = InhomogeneousResult()
     qos = FaultToleranceQoS(num_backups=num_backups, mux_degree=mux_degree)
     for topo_name, factory in _topologies(rows, cols).items():
@@ -111,11 +116,12 @@ def run_inhomogeneous(
             establish_workload(network, pairs, qos, traffic=traffic)
             cell = InhomogeneousCell(spare=network.spare_fraction())
             scenarios = all_single_link_failures(network.topology)
-            cell.proposed_r_fast = RecoveryEvaluator(network).evaluate_many(
-                scenarios
+            cell.proposed_r_fast = evaluate_scenarios(
+                network, scenarios, workers=workers
             ).r_fast
-            cell.bruteforce_r_fast = brute_force_evaluator(
-                network
-            ).evaluate_many(scenarios).r_fast
+            cell.bruteforce_r_fast = evaluate_scenarios(
+                network, scenarios, workers=workers,
+                spare_override=uniform_spare_amount(network),
+            ).r_fast
             result.cells[(topo_name, workload_name)] = cell
     return result

@@ -19,6 +19,7 @@ from repro.analysis.markov import DConnectionMarkovModel
 from repro.channels.qos import FaultToleranceQoS
 from repro.core.reliability import pr_single_backup
 from repro.experiments.setup import NetworkConfig, load_network
+from repro.parallel import parallel_map
 from repro.util.tables import format_table
 
 
@@ -61,6 +62,31 @@ class ReliabilityResult:
         return part1 + "\n\n" + part2
 
 
+def _configuration_cell(item: tuple) -> "tuple | None":
+    """One (backups, mux) cell of the P_r sweep — its own establishment.
+
+    Module-level so :func:`repro.parallel.parallel_map` can ship it to a
+    worker process.
+    """
+    config, backups, degree = item
+    qos = FaultToleranceQoS(num_backups=backups, mux_degree=degree)
+    try:
+        network, report = load_network(config, qos)
+    except Exception:  # pragma: no cover - tiny topologies may refuse
+        return None
+    if report.established == 0:
+        return None
+    values = [
+        network.connection_reliability(connection)
+        for connection in network.connections()
+    ]
+    return (backups, degree), (
+        min(values),
+        sum(values) / len(values),
+        network.spare_fraction(),
+    )
+
+
 def run_reliability(
     config: "NetworkConfig | None" = None,
     primary_components: int = 9,
@@ -69,8 +95,14 @@ def run_reliability(
     configurations: tuple[tuple[int, int], ...] = (
         (1, 1), (1, 3), (1, 6), (2, 3), (2, 6),
     ),
+    workers: "int | None" = 1,
 ) -> ReliabilityResult:
-    """Run both reliability sweeps."""
+    """Run both reliability sweeps.
+
+    ``workers`` parallelises the configuration sweep (one establishment
+    per cell) across processes; cell results are position-independent, so
+    any worker count gives the same tables.
+    """
     config = config or NetworkConfig(rows=4, cols=4)
     result = ReliabilityResult()
 
@@ -87,22 +119,15 @@ def run_reliability(
         )
         result.model_comparison[lam] = (markov.reliability(1.0), combinatorial)
 
-    # Configuration sweep on a live network.
-    for backups, degree in configurations:
-        qos = FaultToleranceQoS(num_backups=backups, mux_degree=degree)
-        try:
-            network, report = load_network(config, qos)
-        except Exception:  # pragma: no cover - tiny topologies may refuse
-            continue
-        if report.established == 0:
-            continue
-        values = [
-            network.connection_reliability(connection)
-            for connection in network.connections()
-        ]
-        result.configuration_sweep[(backups, degree)] = (
-            min(values),
-            sum(values) / len(values),
-            network.spare_fraction(),
-        )
+    # Configuration sweep on a live network — one establishment per cell,
+    # fanned out over workers.
+    cells = parallel_map(
+        _configuration_cell,
+        [(config, backups, degree) for backups, degree in configurations],
+        workers=workers,
+    )
+    for cell in cells:
+        if cell is not None:
+            key, values = cell
+            result.configuration_sweep[key] = values
     return result

@@ -18,7 +18,8 @@ from repro.experiments.setup import (
     load_network,
     standard_failure_models,
 )
-from repro.recovery.evaluator import ActivationOrder, RecoveryEvaluator
+from repro.parallel import evaluate_scenarios
+from repro.recovery.evaluator import ActivationOrder
 from repro.util.tables import format_percent, format_table
 
 PAPER_DEGREES = (1, 3, 5, 6)
@@ -106,8 +107,13 @@ def run_table1(
     double_node_samples: int = 200,
     order: ActivationOrder = ActivationOrder.PRIORITY,
     seed: "int | None" = 0,
+    workers: "int | None" = 1,
 ) -> Table1Result:
-    """Regenerate one Table 1 panel."""
+    """Regenerate one Table 1 panel.
+
+    ``workers`` fans the scenario evaluation out over processes (``None``
+    = one per CPU); results are identical for any worker count.
+    """
     config = config or NetworkConfig()
     result = Table1Result(
         config=config, num_backups=num_backups, mux_degrees=tuple(mux_degrees)
@@ -126,11 +132,12 @@ def run_table1(
             continue
         result.spare[degree] = network.spare_fraction()
         result.network_load[degree] = network.network_load()
-        evaluator = RecoveryEvaluator(network, order=order, seed=seed)
         models = standard_failure_models(
             network.topology, double_node_samples, seed
         )
         for model, scenarios in models.items():
-            stats = evaluator.evaluate_many(scenarios)
+            stats = evaluate_scenarios(
+                network, scenarios, workers=workers, order=order, seed=seed
+            )
             result.r_fast[model][degree] = stats.r_fast
     return result

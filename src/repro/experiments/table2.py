@@ -20,6 +20,7 @@ from repro.experiments.setup import (
     standard_failure_models,
 )
 from repro.faults.models import FailureScenario
+from repro.parallel import evaluate_scenarios_grouped
 from repro.recovery.evaluator import ActivationOrder, RecoveryEvaluator
 from repro.recovery.grouping import by_mux_degree, evaluate_grouped
 from repro.recovery.metrics import RecoveryStats
@@ -103,8 +104,13 @@ def run_table2(
     double_node_samples: int = 200,
     order: ActivationOrder = ActivationOrder.PRIORITY,
     seed: "int | None" = 0,
+    workers: "int | None" = 1,
 ) -> Table2Result:
-    """Regenerate one Table 2 panel."""
+    """Regenerate one Table 2 panel.
+
+    ``workers`` fans the scenario evaluation out over processes (``None``
+    = one per CPU); results are identical for any worker count.
+    """
     config = config or NetworkConfig()
     result = Table2Result(
         config=config, num_backups=num_backups, classes=tuple(classes)
@@ -121,11 +127,13 @@ def run_table2(
     result.spare = (
         network.spare_fraction() if report.essentially_complete else None
     )
-    evaluator = RecoveryEvaluator(network, order=order, seed=seed)
     models = standard_failure_models(network.topology, double_node_samples, seed)
     for model in FAILURE_MODELS:
         scenarios = models[model]
-        per_class = evaluate_by_class(network, evaluator, scenarios)
+        per_class = evaluate_scenarios_grouped(
+            network, scenarios, key=by_mux_degree,
+            workers=workers, order=order, seed=seed,
+        )
         result.r_fast[model] = {
             degree: (per_class[degree].r_fast if degree in per_class else None)
             for degree in classes

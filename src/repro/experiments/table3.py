@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.baselines.bruteforce import brute_force_evaluator, uniform_spare_amount
+from repro.baselines.bruteforce import uniform_spare_amount
 from repro.channels.qos import FaultToleranceQoS
 from repro.experiments.setup import (
     FAILURE_MODELS,
@@ -18,6 +18,7 @@ from repro.experiments.setup import (
     load_network,
     standard_failure_models,
 )
+from repro.parallel import evaluate_scenarios
 from repro.recovery.evaluator import ActivationOrder
 from repro.util.tables import format_percent, format_table
 
@@ -82,8 +83,13 @@ def run_table3(
     double_node_samples: int = 200,
     order: ActivationOrder = ActivationOrder.PRIORITY,
     seed: "int | None" = 0,
+    workers: "int | None" = 1,
 ) -> Table3Result:
-    """Regenerate one Table 3 panel."""
+    """Regenerate one Table 3 panel.
+
+    ``workers`` fans the scenario evaluation out over processes (``None``
+    = one per CPU); results are identical for any worker count.
+    """
     config = config or NetworkConfig()
     result = Table3Result(
         config=config, num_backups=num_backups, mux_degrees=tuple(mux_degrees)
@@ -99,12 +105,15 @@ def run_table3(
                 result.r_fast[model][degree] = None
             continue
         result.spare[degree] = network.spare_fraction()
-        result.uniform_per_link[degree] = uniform_spare_amount(network)
-        evaluator = brute_force_evaluator(network, order=order, seed=seed)
+        uniform = uniform_spare_amount(network)
+        result.uniform_per_link[degree] = uniform
         models = standard_failure_models(
             network.topology, double_node_samples, seed
         )
         for model, scenarios in models.items():
-            stats = evaluator.evaluate_many(scenarios)
+            stats = evaluate_scenarios(
+                network, scenarios, workers=workers, order=order,
+                spare_override=uniform, seed=seed,
+            )
             result.r_fast[model][degree] = stats.r_fast
     return result

@@ -69,12 +69,26 @@ class ReservationLedger:
 
     topology: Topology
     _links: dict[LinkId, LinkLedger] = field(init=False)
+    _version: int = field(init=False, default=0)
+    _spares_cache: "tuple[int, dict[LinkId, float]] | None" = field(
+        init=False, default=None, repr=False
+    )
 
     def __post_init__(self) -> None:
         self._links = {
             link: LinkLedger(capacity=self.topology.capacity(link))
             for link in self.topology.links()
         }
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter.
+
+        Bumped by every reservation change; snapshot consumers (the
+        recovery evaluator, parallel shard workers) use it to reuse
+        spare-pool snapshots for as long as no connection changed.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # per-link accessors
@@ -109,6 +123,7 @@ class ReservationLedger:
         if entry.free + _EPSILON < bandwidth:
             raise InsufficientCapacityError(link, bandwidth, entry.free)
         entry.primary += bandwidth
+        self._version += 1
 
     def release_primary(self, link: LinkId, bandwidth: float) -> None:
         """Return primary bandwidth to the free pool."""
@@ -120,6 +135,7 @@ class ReservationLedger:
                 f"{entry.primary:g} reserved"
             )
         entry.primary = max(0.0, entry.primary - bandwidth)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # spare-pool operations
@@ -143,6 +159,7 @@ class ReservationLedger:
                 link, amount, entry.capacity - entry.primary
             )
         entry.spare = amount
+        self._version += 1
 
     def convert_spare_to_primary(self, link: LinkId, bandwidth: float) -> None:
         """Move ``bandwidth`` from the spare pool into the primary pool.
@@ -157,6 +174,7 @@ class ReservationLedger:
             raise InsufficientCapacityError(link, bandwidth, entry.spare)
         entry.spare -= bandwidth
         entry.primary += bandwidth
+        self._version += 1
 
     # ------------------------------------------------------------------
     # network-wide metrics (paper Section 7.1)
@@ -187,6 +205,29 @@ class ReservationLedger:
         """Copy of every link's current spare reservation.
 
         The recovery evaluator works on scenario-local copies so that
-        evaluating one failure scenario never mutates the network.
+        evaluating one failure scenario never mutates the network.  The
+        copy is rebuilt only when :attr:`version` changed since the last
+        call; repeated snapshots of an unchanged ledger are free.
         """
-        return {link: entry.spare for link, entry in self._links.items()}
+        cache = self._spares_cache
+        if cache is not None and cache[0] == self._version:
+            return dict(cache[1])
+        spares = {link: entry.spare for link, entry in self._links.items()}
+        self._spares_cache = (self._version, spares)
+        return dict(spares)
+
+    def shared_spares(self) -> dict[LinkId, float]:
+        """Read-only view of the current spare pools (cached by version).
+
+        Unlike :meth:`snapshot_spares` the returned mapping is shared
+        between callers and **must not be mutated**; it exists for hot
+        paths (evaluator construction per shard) where even the O(links)
+        copy matters.
+        """
+        cache = self._spares_cache
+        if cache is None or cache[0] != self._version:
+            self._spares_cache = (
+                self._version,
+                {link: entry.spare for link, entry in self._links.items()},
+            )
+        return self._spares_cache[1]

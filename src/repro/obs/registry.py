@@ -69,6 +69,20 @@ class Gauge:
         if value < self.min:
             self.min = value
 
+    def absorb(self, summary: dict) -> None:
+        """Fold another gauge's exported summary in (parallel merges).
+
+        The merged ``value`` is the absorbed one (last writer in merge
+        order wins); watermarks take the union.
+        """
+        if summary.get("value") is None:
+            return
+        self.value = summary["value"]
+        if summary["max"] > self.max:
+            self.max = summary["max"]
+        if summary["min"] < self.min:
+            self.min = summary["min"]
+
     def summary(self) -> dict:
         """``{"value", "min", "max"}`` (all ``None`` before any set)."""
         if self.value is None:
@@ -120,6 +134,26 @@ class Histogram:
     @property
     def mean(self) -> "float | None":
         return self.total / self.count if self.count else None
+
+    def absorb(self, summary: dict) -> None:
+        """Fold another histogram's exported summary in (parallel merges).
+
+        ``count``/``sum``/``min``/``max`` (and hence ``mean``) merge
+        exactly.  The absorbed side's percentile *samples* are gone — only
+        its summary crossed the process boundary — so the absorbed mean is
+        fed into the sample buffer once as a coarse percentile proxy.
+        """
+        if not summary.get("count"):
+            return
+        self.count += summary["count"] - 1
+        if summary["min"] < self.min:
+            self.min = summary["min"]
+        if summary["max"] > self.max:
+            self.max = summary["max"]
+        # Route one representative value through record() so the decimated
+        # sample buffer stays consistent; correct the total afterwards.
+        self.record(summary["mean"])
+        self.total += summary["sum"] - summary["mean"]
 
     def percentile(self, p: float) -> "float | None":
         """Nearest-rank percentile over the retained sample, or ``None``
@@ -180,6 +214,11 @@ class MetricsRegistry:
             instrument = kind(name)
             self._instruments[name] = instrument
         elif type(instrument) is not kind:
+            # A Timer is a histogram of seconds; exported snapshots do not
+            # distinguish the two, so a name absorbed from a worker
+            # snapshot may be re-requested under either kind.
+            if kind is Histogram and type(instrument) is Timer:
+                return instrument
             raise TypeError(
                 f"metric {name!r} already registered as "
                 f"{type(instrument).__name__}, not {kind.__name__}"
@@ -233,6 +272,33 @@ class MetricsRegistry:
             "gauges": gauges,
             "histograms": histograms,
         }
+
+    def absorb(self, snapshot: dict) -> None:
+        """Fold an exported ``repro.metrics/1`` snapshot into this registry.
+
+        This is how the parallel execution layer surfaces worker-process
+        metrics in the parent session: counters add exactly, gauges merge
+        watermarks (absorbed value wins), histograms merge their exact
+        ``count``/``sum``/``min``/``max`` (percentile *samples* do not
+        cross the process boundary — see :meth:`Histogram.absorb`).
+        Unknown histogram names are created as :class:`Timer` so later
+        ``timer()`` *and* ``histogram()`` lookups both resolve to them.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            if value:
+                self.counter(name).inc(value)
+        for name, summary in snapshot.get("gauges", {}).items():
+            self.gauge(name).absorb(summary)
+        for name, summary in snapshot.get("histograms", {}).items():
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = self._get(name, Timer)
+            elif not isinstance(instrument, Histogram):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not Histogram"
+                )
+            instrument.absorb(summary)
 
     def reset(self) -> None:
         """Drop every instrument (callers' cached references go stale)."""
@@ -319,9 +385,74 @@ class NullRegistry(MetricsRegistry):
         return {"schema": SNAPSHOT_SCHEMA, "counters": {}, "gauges": {},
                 "histograms": {}}
 
+    def absorb(self, snapshot: dict) -> None:
+        pass
+
 
 #: Shared no-op registry, safe to hand to anything.
 NULL_REGISTRY = NullRegistry()
+
+
+def merge_snapshots(snapshots: "list[dict]") -> dict:
+    """Merge exported ``repro.metrics/1`` snapshots into one document.
+
+    Counters and histogram ``count``/``sum``/``min``/``max``/``mean``
+    merge exactly; gauge values are last-in-merge-order with union
+    watermarks; histogram percentiles are count-weighted averages of the
+    inputs' percentiles (an approximation — the underlying samples never
+    left their processes).  Used by the parallel layer to fold per-shard
+    worker snapshots into one result, and handy for combining the
+    ``--metrics-out`` files of separate runs.
+    """
+    counters: dict[str, int] = {}
+    gauges: dict[str, dict] = {}
+    histograms: dict[str, dict] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, summary in snapshot.get("gauges", {}).items():
+            if summary.get("value") is None:
+                gauges.setdefault(
+                    name, {"value": None, "min": None, "max": None}
+                )
+                continue
+            merged = gauges.get(name)
+            if merged is None or merged["value"] is None:
+                gauges[name] = dict(summary)
+            else:
+                merged["value"] = summary["value"]
+                merged["min"] = min(merged["min"], summary["min"])
+                merged["max"] = max(merged["max"], summary["max"])
+        for name, summary in snapshot.get("histograms", {}).items():
+            merged = histograms.get(name)
+            if merged is None:
+                histograms[name] = dict(summary)
+                continue
+            if not summary.get("count"):
+                continue
+            if not merged["count"]:
+                histograms[name] = dict(summary)
+                continue
+            total_count = merged["count"] + summary["count"]
+            for key in ("p50", "p95", "p99"):
+                a, b = merged.get(key), summary.get(key)
+                if a is None or b is None:
+                    merged[key] = a if b is None else b
+                else:
+                    merged[key] = (
+                        a * merged["count"] + b * summary["count"]
+                    ) / total_count
+            merged["sum"] += summary["sum"]
+            merged["min"] = min(merged["min"], summary["min"])
+            merged["max"] = max(merged["max"], summary["max"])
+            merged["count"] = total_count
+            merged["mean"] = merged["sum"] / total_count
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(histograms.items())),
+    }
 
 
 # ----------------------------------------------------------------------

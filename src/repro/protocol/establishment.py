@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.channels.channel import Channel, ChannelRole
+from repro.channels.channel import ChannelRole
 from repro.channels.qos import DelayQoS, FaultToleranceQoS
 from repro.channels.traffic import TrafficSpec
 from repro.core.bcp import BCPNetwork

@@ -143,17 +143,34 @@ class RecoveryEvaluator:
         self._c_lost = obs.counter("evaluator.channels_lost")
         self._c_excluded = obs.counter("evaluator.excluded")
         self._base_spares = self._resolve_spares(spare_override)
-        # Free capacity per link, fixed at construction (fallback mode).
-        self._base_free = {
-            link: network.ledger.free(link) for link in network.topology.links()
-        }
+        # Free capacity per link, fixed at construction — only needed (and
+        # only paid for) in fallback mode.
+        self._base_free = (
+            {link: network.ledger.free(link) for link in network.topology.links()}
+            if free_capacity_fallback
+            else {}
+        )
+
+    def reseed(self, seed: "int | None") -> None:
+        """Replace the activation-order RNG (``ActivationOrder.RANDOM``).
+
+        The parallel execution layer reseeds one evaluator per scenario
+        shard so results are independent of how shards map to workers.
+        """
+        self._rng = make_rng(seed)
 
     def _resolve_spares(
         self, override: "Mapping[LinkId, float] | float | None"
     ) -> dict[LinkId, float]:
         topology = self.network.topology
         if override is None:
-            return self.network.ledger.snapshot_spares()
+            # Shared, version-cached view: constructing many evaluators
+            # against an unchanged network (one per shard in a parallel
+            # sweep, or one per activation-order variant in the ablation
+            # experiment) re-derives the spare pools exactly once.  The
+            # evaluator never mutates its base pools (scenario draws go to
+            # scenario-local copies), so sharing is safe.
+            return self.network.ledger.shared_spares()
         if isinstance(override, (int, float)):
             # A uniform pool cannot exceed what the link can actually hold.
             return {

@@ -15,7 +15,6 @@ from repro import (
     TrafficSpec,
     torus,
 )
-from repro.network.generators import line, ring
 from repro.routing.shortest import hop_distance
 
 

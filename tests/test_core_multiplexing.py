@@ -248,3 +248,58 @@ class TestMultiplexingEngine:
         # Primaries share endpoint node 1 -> sc >= 1 -> NOT multiplexable
         # at degree 1, so Ψ is empty on the shared link.
         assert sizes[LinkId(1, 2)] == 0
+
+
+class TestEngineOverlapCache:
+    def _backup(self, cid, nodes, degree, bandwidth=1.0):
+        return Channel(
+            channel_id=cid,
+            connection_id=cid,
+            role=ChannelRole.BACKUP,
+            serial=1,
+            path=Path(nodes),
+            traffic=TrafficSpec(bandwidth=bandwidth),
+            mux_degree=degree,
+        )
+
+    def _primary(self, cid, nodes):
+        return Channel(
+            channel_id=cid + 1000,
+            connection_id=cid,
+            role=ChannelRole.PRIMARY,
+            serial=0,
+            path=Path(nodes),
+            traffic=TrafficSpec(),
+        )
+
+    def test_cache_hits_across_shared_links(self):
+        engine = MultiplexingEngine()
+        # Two backups sharing two links: the same pair is tested on both
+        # links, so the second test must be a cache hit.
+        engine.add_backup(self._backup(0, (1, 2, 3, 4), 3),
+                         self._primary(0, (1, 8, 4)))
+        engine.add_backup(self._backup(1, (0, 2, 3, 4), 3),
+                         self._primary(1, (0, 9, 4)))
+        assert engine.overlaps.misses == 1
+        assert engine.overlaps.hits >= 1
+
+    def test_readd_with_new_primary_not_served_stale_counts(self):
+        engine = MultiplexingEngine()
+        engine.add_backup(self._backup(0, (1, 2, 3), 5),
+                         self._primary(0, (1, 7, 3)))
+        # First primary of backup 1 heavily overlaps backup 0's primary.
+        engine.add_backup(self._backup(1, (5, 2, 3), 5),
+                         self._primary(1, (1, 7, 3)))
+        before = engine.spare_required(LinkId(2, 3))
+        engine.remove_backup(self._backup(1, (5, 2, 3), 5))
+        # Same channel id, disjoint primary: must re-derive the overlap.
+        engine.add_backup(self._backup(1, (5, 2, 3), 5),
+                         self._primary(1, (5, 8, 6)))
+        after = engine.spare_required(LinkId(2, 3))
+        fresh = MultiplexingEngine()
+        fresh.add_backup(self._backup(0, (1, 2, 3), 5),
+                         self._primary(0, (1, 7, 3)))
+        fresh.add_backup(self._backup(1, (5, 2, 3), 5),
+                         self._primary(1, (5, 8, 6)))
+        assert after == fresh.spare_required(LinkId(2, 3))
+        assert after < before  # disjoint primaries now multiplex

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import BCPNetwork, FaultToleranceQoS, TrafficSpec, torus
+from repro import BCPNetwork, FaultToleranceQoS, torus
 from repro.network.generators import line
 from repro.protocol.establishment import DistributedEstablishment
 from repro.protocol.signaling import SignalingParams, establishment_latency

@@ -1,0 +1,348 @@
+"""Tests for repro.parallel: determinism, crash surfacing, metric merges.
+
+The load-bearing property is that ``workers=1`` and ``workers=N`` produce
+*identical* results for a fixed seed — identical
+:class:`~repro.recovery.metrics.RecoveryStats` (every field, including
+the float accumulators) and identical ``repro.metrics/1`` counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.faults import (
+    FailureScenario,
+    all_single_link_failures,
+    all_single_node_failures,
+)
+from repro.obs.registry import MetricsRegistry, merge_snapshots
+from repro.parallel import (
+    evaluate_scenarios,
+    evaluate_scenarios_grouped,
+    parallel_map,
+    resolve_workers,
+)
+from repro.recovery import ActivationOrder, RecoveryEvaluator
+from repro.recovery.grouping import by_mux_degree, evaluate_grouped
+
+
+@pytest.fixture
+def scenarios(loaded_torus4):
+    return (
+        all_single_link_failures(loaded_torus4.topology)
+        + all_single_node_failures(loaded_torus4.topology)
+    )
+
+
+# ----------------------------------------------------------------------
+# worker-count resolution
+# ----------------------------------------------------------------------
+class TestResolveWorkers:
+    def test_auto_is_at_least_one(self):
+        assert resolve_workers(None) >= 1
+
+    def test_explicit_passthrough(self):
+        assert resolve_workers(3) == 3
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
+
+# ----------------------------------------------------------------------
+# determinism across worker counts
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_stats_identical_across_worker_counts(
+        self, loaded_torus4, scenarios
+    ):
+        reg1, reg2 = MetricsRegistry(), MetricsRegistry()
+        one = evaluate_scenarios(
+            loaded_torus4, scenarios, workers=1, seed=0,
+            shard_size=7, metrics=reg1,
+        )
+        many = evaluate_scenarios(
+            loaded_torus4, scenarios, workers=3, seed=0,
+            shard_size=7, metrics=reg2,
+        )
+        # Dataclass equality covers every field, including the float
+        # accumulators behind r_fast_mean_of_scenarios.
+        assert one == many
+        assert reg1.snapshot()["counters"] == reg2.snapshot()["counters"]
+
+    def test_matches_direct_evaluator(self, loaded_torus4, scenarios):
+        direct = RecoveryEvaluator(
+            loaded_torus4, metrics=MetricsRegistry()
+        ).evaluate_many(scenarios)
+        parallel = evaluate_scenarios(
+            loaded_torus4, scenarios, workers=2, metrics=MetricsRegistry()
+        )
+        assert parallel.scenarios == direct.scenarios
+        assert parallel.failed_primaries == direct.failed_primaries
+        assert parallel.fast_recovered == direct.fast_recovered
+        assert parallel.mux_failures == direct.mux_failures
+        assert parallel.channels_lost == direct.channels_lost
+        assert parallel.excluded_connections == direct.excluded_connections
+
+    def test_random_order_identical_across_worker_counts(
+        self, loaded_torus4, scenarios
+    ):
+        kwargs = dict(order=ActivationOrder.RANDOM, seed=11, shard_size=5)
+        one = evaluate_scenarios(
+            loaded_torus4, scenarios, workers=1,
+            metrics=MetricsRegistry(), **kwargs,
+        )
+        many = evaluate_scenarios(
+            loaded_torus4, scenarios, workers=4,
+            metrics=MetricsRegistry(), **kwargs,
+        )
+        assert one == many
+
+    def test_grouped_identical_across_worker_counts(
+        self, loaded_torus4, scenarios
+    ):
+        one = evaluate_scenarios_grouped(
+            loaded_torus4, scenarios, key=by_mux_degree,
+            workers=1, shard_size=9, metrics=MetricsRegistry(),
+        )
+        many = evaluate_scenarios_grouped(
+            loaded_torus4, scenarios, key=by_mux_degree,
+            workers=3, shard_size=9, metrics=MetricsRegistry(),
+        )
+        assert one == many
+        direct = evaluate_grouped(
+            loaded_torus4,
+            RecoveryEvaluator(loaded_torus4, metrics=MetricsRegistry()),
+            scenarios,
+            by_mux_degree,
+        )
+        assert set(one) == set(direct)
+        for group, stats in direct.items():
+            assert one[group].fast_recovered == stats.fast_recovered
+            assert one[group].failed_primaries == stats.failed_primaries
+
+    def test_empty_scenario_stream(self, loaded_torus4):
+        stats = evaluate_scenarios(
+            loaded_torus4, [], workers=2, metrics=MetricsRegistry()
+        )
+        assert stats.scenarios == 0
+        assert evaluate_scenarios_grouped(
+            loaded_torus4, [], workers=2, metrics=MetricsRegistry()
+        ) == {}
+
+
+# ----------------------------------------------------------------------
+# failure surfacing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _PoisonedScenario(FailureScenario):
+    """A scenario whose component expansion explodes in the worker."""
+
+    def components(self, topology):
+        raise RuntimeError("poisoned scenario")
+
+
+class TestCrashSurfacing:
+    def test_worker_exception_propagates(self, loaded_torus4, scenarios):
+        poisoned = scenarios[:4] + [_PoisonedScenario()] + scenarios[4:8]
+        with pytest.raises(RuntimeError, match="poisoned"):
+            evaluate_scenarios(
+                loaded_torus4, poisoned, workers=2, shard_size=2,
+                metrics=MetricsRegistry(),
+            )
+
+    def test_inline_exception_propagates(self, loaded_torus4):
+        with pytest.raises(RuntimeError, match="poisoned"):
+            evaluate_scenarios(
+                loaded_torus4, [_PoisonedScenario()], workers=1,
+                metrics=MetricsRegistry(),
+            )
+
+
+# ----------------------------------------------------------------------
+# parallel_map
+# ----------------------------------------------------------------------
+def _square(value: int) -> int:
+    return value * value
+
+
+def _record_and_square(value: int) -> int:
+    from repro.obs.registry import get_registry
+
+    get_registry().counter("test.map_calls").inc()
+    get_registry().histogram("test.values").record(float(value))
+    return value * value
+
+
+def _explode(value: int) -> int:
+    raise ValueError(f"bad item {value}")
+
+
+class TestParallelMap:
+    def test_preserves_item_order(self):
+        assert parallel_map(_square, range(7), workers=3) == [
+            0, 1, 4, 9, 16, 25, 36,
+        ]
+
+    def test_folds_worker_metrics_in_order(self):
+        reg1, reg2 = MetricsRegistry(), MetricsRegistry()
+        parallel_map(_record_and_square, range(5), workers=1, metrics=reg1)
+        parallel_map(_record_and_square, range(5), workers=2, metrics=reg2)
+        snap1, snap2 = reg1.snapshot(), reg2.snapshot()
+        assert snap1["counters"] == snap2["counters"] == {
+            "test.map_calls": 5
+        }
+        for snap in (snap1, snap2):
+            histogram = snap["histograms"]["test.values"]
+            assert histogram["count"] == 5
+            assert histogram["sum"] == 10.0
+            assert histogram["min"] == 0.0
+            assert histogram["max"] == 4.0
+
+    def test_task_exception_propagates(self):
+        with pytest.raises(ValueError, match="bad item"):
+            parallel_map(_explode, [1], workers=2)
+
+
+# ----------------------------------------------------------------------
+# metrics merge primitives
+# ----------------------------------------------------------------------
+class TestRegistryMerge:
+    def _worker_snapshot(self, offset: int) -> dict:
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3 + offset)
+        registry.gauge("g").set(10.0 * (offset + 1))
+        for value in range(4):
+            registry.timer("h_s").record(float(value + offset))
+        return registry.snapshot()
+
+    def test_absorb_preserves_counter_and_histogram_totals(self):
+        parent = MetricsRegistry()
+        parent.counter("c").inc(1)
+        parent.timer("h_s").record(100.0)
+        for offset in (0, 5):
+            parent.absorb(self._worker_snapshot(offset))
+        snapshot = parent.snapshot()
+        assert snapshot["counters"]["c"] == 1 + 3 + 8
+        histogram = snapshot["histograms"]["h_s"]
+        assert histogram["count"] == 1 + 4 + 4
+        assert histogram["sum"] == 100.0 + 6.0 + 26.0
+        assert histogram["min"] == 0.0
+        assert histogram["max"] == 100.0
+        gauge = snapshot["gauges"]["g"]
+        assert gauge == {"value": 60.0, "min": 10.0, "max": 60.0}
+
+    def test_absorbed_histogram_usable_as_timer_and_histogram(self):
+        parent = MetricsRegistry()
+        parent.absorb(self._worker_snapshot(0))
+        # The absorbed name must resolve under either kind afterwards.
+        parent.timer("h_s").record(1.0)
+        parent.histogram("h_s").record(2.0)
+        assert parent.snapshot()["histograms"]["h_s"]["count"] == 6
+
+    def test_absorb_empty_summaries_is_noop(self):
+        parent = MetricsRegistry()
+        parent.absorb(MetricsRegistry().snapshot())
+        empty = MetricsRegistry()
+        empty.gauge("g")
+        empty.histogram("h")
+        parent.absorb(empty.snapshot())
+        snapshot = parent.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["gauges"].get("g", {}).get("value") is None
+
+    def test_merge_snapshots_totals(self):
+        snapshots = [self._worker_snapshot(offset) for offset in (0, 5, 9)]
+        merged = merge_snapshots(snapshots)
+        assert merged["schema"] == "repro.metrics/1"
+        assert merged["counters"]["c"] == 3 + 8 + 12
+        histogram = merged["histograms"]["h_s"]
+        assert histogram["count"] == 12
+        assert histogram["sum"] == 6.0 + 26.0 + 42.0
+        assert histogram["min"] == 0.0
+        assert histogram["max"] == 12.0
+        assert histogram["mean"] == pytest.approx(histogram["sum"] / 12)
+        assert merged["gauges"]["g"] == {
+            "value": 100.0, "min": 10.0, "max": 100.0,
+        }
+
+    def test_merge_snapshots_matches_absorb(self):
+        snapshots = [self._worker_snapshot(offset) for offset in (0, 5)]
+        via_absorb = MetricsRegistry()
+        for snapshot in snapshots:
+            via_absorb.absorb(snapshot)
+        merged = merge_snapshots(snapshots)
+        absorbed = via_absorb.snapshot()
+        assert merged["counters"] == absorbed["counters"]
+        for key in ("count", "sum", "min", "max", "mean"):
+            assert merged["histograms"]["h_s"][key] == pytest.approx(
+                absorbed["histograms"]["h_s"][key]
+            )
+
+
+# ----------------------------------------------------------------------
+# the spare-snapshot cache behind evaluator construction (regression)
+# ----------------------------------------------------------------------
+class TestSharedSpareCache:
+    def test_evaluators_share_base_pools_while_unchanged(self, loaded_torus4):
+        first = RecoveryEvaluator(loaded_torus4, metrics=MetricsRegistry())
+        second = RecoveryEvaluator(loaded_torus4, metrics=MetricsRegistry())
+        assert first._base_spares is second._base_spares
+
+    def test_cache_invalidated_by_mutation(self, loaded_torus4):
+        before = loaded_torus4.ledger.shared_spares()
+        link = next(iter(loaded_torus4.topology.links()))
+        loaded_torus4.ledger.set_spare(link, 7.5)
+        after = loaded_torus4.ledger.shared_spares()
+        assert after is not before
+        assert after[link] == 7.5
+
+    def test_snapshot_spares_still_returns_copies(self, loaded_torus4):
+        copy = loaded_torus4.ledger.snapshot_spares()
+        shared = loaded_torus4.ledger.shared_spares()
+        assert copy == shared
+        assert copy is not shared
+        link = next(iter(copy))
+        copy[link] = -1.0
+        assert loaded_torus4.ledger.shared_spares()[link] != -1.0
+
+    def test_override_still_builds_private_pools(self, loaded_torus4):
+        uniform = RecoveryEvaluator(
+            loaded_torus4, spare_override=5.0, metrics=MetricsRegistry()
+        )
+        assert uniform._base_spares is not (
+            loaded_torus4.ledger.shared_spares()
+        )
+
+
+# ----------------------------------------------------------------------
+# trace capture
+# ----------------------------------------------------------------------
+class TestTraceCapture:
+    def _trace_of(self, network, scenarios, workers):
+        from repro.obs.registry import obs_session
+        from repro.sim.trace import TraceLog
+
+        trace = TraceLog()
+        with obs_session(MetricsRegistry(), trace):
+            evaluate_scenarios(
+                network, scenarios, workers=workers, shard_size=6
+            )
+        return trace.to_jsonl()
+
+    def test_trace_identical_across_worker_counts(
+        self, loaded_torus4, scenarios
+    ):
+        one = self._trace_of(loaded_torus4, scenarios, 1)
+        many = self._trace_of(loaded_torus4, scenarios, 3)
+        assert one == many
+        assert one.count("\n") == len(scenarios)
+
+    def test_no_sink_is_fine(self, loaded_torus4, scenarios):
+        stats = evaluate_scenarios(
+            loaded_torus4, scenarios[:4], workers=2, shard_size=2,
+            metrics=MetricsRegistry(),
+        )
+        assert stats.scenarios == 4

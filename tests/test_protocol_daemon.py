@@ -5,7 +5,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import BCPNetwork, FaultToleranceQoS, torus
+from repro import BCPNetwork, FaultToleranceQoS
 from repro.faults import FailureScenario
 from repro.network import LinkId
 from repro.network.generators import line, ring

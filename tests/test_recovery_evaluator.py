@@ -10,7 +10,6 @@ from repro.faults import (
     all_single_link_failures,
     all_single_node_failures,
 )
-from repro.network import LinkId
 from repro.recovery import (
     ActivationOrder,
     ConnectionOutcome,

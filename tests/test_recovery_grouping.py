@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import BCPNetwork, FaultToleranceQoS, torus
-from repro.faults import FailureScenario, all_single_link_failures
+from repro.faults import all_single_link_failures
 from repro.protocol import ProtocolConfig, ProtocolSimulation
 from repro.recovery import (
     RecoveryEvaluator,

@@ -3,9 +3,7 @@ when every channel of a D-connection is lost."""
 
 from __future__ import annotations
 
-import pytest
-
-from repro import BCPNetwork, FaultToleranceQoS, torus
+from repro import BCPNetwork, FaultToleranceQoS
 from repro.faults import FailureScenario
 from repro.network.generators import ring
 from repro.protocol import ProtocolConfig, ProtocolSimulation, simulate_scenario

@@ -8,7 +8,6 @@ from repro.network import LinkId, Topology, mesh, ring, torus
 from repro.routing import (
     DisjointPathError,
     NoPathError,
-    Path,
     RouteConstraints,
     hop_distance,
     k_shortest_paths,
