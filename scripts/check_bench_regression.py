@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""CI gate: routing benchmarks must not regress more than 20%.
+
+Compares a pytest-benchmark JSON export (``--benchmark-json``) against the
+committed baseline ``benchmarks/BENCH_routing.json``.  Absolute timings
+are meaningless across machines, so every median is first normalised by
+the *calibration anchor* — the reference-kernel benchmark that runs in
+the same process on the same machine.  A benchmark fails the gate when
+
+    (median_now / anchor_now) > (median_base / anchor_base) * (1 + threshold)
+
+i.e. when it got slower *relative to the reference implementation*.
+
+Usage:
+    python scripts/check_bench_regression.py RESULTS.json [options]
+
+Options:
+    --baseline PATH    baseline file (default benchmarks/BENCH_routing.json)
+    --threshold F      allowed relative slowdown (default 0.20)
+    --update           rewrite the baseline from RESULTS.json and exit
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "benchmarks" / "BENCH_routing.json"
+CALIBRATION = "test_calibration_reference_bfs"
+
+
+def load_medians(results_path: str) -> dict[str, float]:
+    with open(results_path) as handle:
+        data = json.load(handle)
+    medians: dict[str, float] = {}
+    for bench in data["benchmarks"]:
+        # pytest-benchmark names carry the module path; keep the bare name
+        # so baselines survive file moves.
+        name = bench["name"].split("[")[0]
+        medians[name] = bench["stats"]["median"]
+    return medians
+
+
+def update_baseline(medians: dict[str, float], baseline_path: Path) -> None:
+    if CALIBRATION not in medians:
+        sys.exit(f"calibration benchmark {CALIBRATION!r} missing from results")
+    payload = {
+        "schema": "repro.bench-baseline/1",
+        "calibration": CALIBRATION,
+        "medians": {name: medians[name] for name in sorted(medians)},
+    }
+    baseline_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {baseline_path} ({len(medians)} benchmarks)")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", help="pytest-benchmark JSON export")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    parser.add_argument("--threshold", type=float, default=0.20)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the results")
+    args = parser.parse_args()
+
+    medians = load_medians(args.results)
+    baseline_path = Path(args.baseline)
+    if args.update:
+        update_baseline(medians, baseline_path)
+        return
+
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    anchor = baseline["calibration"]
+    base_medians = baseline["medians"]
+    if anchor not in medians:
+        sys.exit(f"calibration benchmark {anchor!r} missing from results")
+    anchor_now = medians[anchor]
+    anchor_base = base_medians[anchor]
+
+    failures = []
+    for name, base_median in sorted(base_medians.items()):
+        if name == anchor:
+            continue
+        if name not in medians:
+            failures.append(f"{name}: missing from results")
+            continue
+        now = medians[name] / anchor_now
+        base = base_median / anchor_base
+        ratio = now / base
+        status = "FAIL" if ratio > 1.0 + args.threshold else "ok"
+        print(f"  {status:4s} {name}: {ratio:.2f}x of baseline "
+              f"(normalised {now:.4f} vs {base:.4f})")
+        if status == "FAIL":
+            failures.append(
+                f"{name}: {ratio:.2f}x of baseline "
+                f"(threshold {1.0 + args.threshold:.2f}x)"
+            )
+    for name in sorted(set(medians) - set(base_medians)):
+        print(f"  new  {name}: not in baseline (run --update to add)")
+
+    if failures:
+        print("\nBENCHMARK REGRESSION:")
+        for failure in failures:
+            print(f"  {failure}")
+        sys.exit(1)
+    print("OK: no routing benchmark regressed beyond the threshold.")
+
+
+if __name__ == "__main__":
+    main()

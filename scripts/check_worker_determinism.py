@@ -9,7 +9,8 @@ Runs the same scenario evaluations with ``--workers 1`` and
   so even non-associative float sums must match bit-for-bit),
 * ``repro.metrics/1`` counter maps,
 * grouped (per-mux-degree) evaluation,
-* the fully formatted Table 1 panel produced by the experiment driver.
+* the fully formatted Table 1 panel produced by the experiment driver,
+* the same panel with the route cache disabled (``--no-route-cache``).
 
 Usage: PYTHONPATH=src python scripts/check_worker_determinism.py [N]
 """
@@ -27,6 +28,7 @@ from repro.obs.registry import MetricsRegistry
 from repro.parallel import evaluate_scenarios, evaluate_scenarios_grouped
 from repro.recovery import ActivationOrder
 from repro.recovery.grouping import by_mux_degree
+from repro.routing import set_route_cache_enabled
 
 CONFIG = NetworkConfig(topology="torus", rows=4, cols=4)
 SEED = 0
@@ -90,6 +92,21 @@ def check_table1(workers: int) -> None:
           f"(serial {serial:.2f}s, workers={workers} {parallel:.2f}s)")
 
 
+def check_route_cache_escape_hatch() -> None:
+    """The ``--no-route-cache`` escape hatch must not change any result."""
+    cached = run_table1(CONFIG, double_node_samples=20, seed=SEED,
+                        workers=1).format()
+    previous = set_route_cache_enabled(False)
+    try:
+        uncached = run_table1(CONFIG, double_node_samples=20, seed=SEED,
+                              workers=1).format()
+    finally:
+        set_route_cache_enabled(previous)
+    if cached != uncached:
+        _fail("Table 1 panel with route cache disabled", cached, uncached)
+    print("  Table 1 panel identical with --no-route-cache")
+
+
 def main() -> None:
     workers = int(sys.argv[1]) if len(sys.argv) > 1 else 2
     if workers < 2:
@@ -105,6 +122,7 @@ def main() -> None:
     check_stats(network, scenarios, workers)
     check_grouped(network, scenarios, workers)
     check_table1(workers)
+    check_route_cache_escape_hatch()
     print("OK: parallel evaluation is deterministic.")
 
 

@@ -126,9 +126,7 @@ def evaluate_reactive(
         except NoPathError:  # pragma: no cover - original net is connected
             shortest_possible = 0
         constraints = RouteConstraints(
-            link_admissible=lambda link: ledger.can_reserve_primary(
-                link, bandwidth
-            ),
+            link_admissible=ledger.capacity_floor(bandwidth),
             max_hops=connection.delay_qos.max_hops(shortest_possible),
         )
         try:

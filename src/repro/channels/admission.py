@@ -21,9 +21,8 @@ from dataclasses import dataclass
 
 from repro.channels.traffic import TrafficSpec
 from repro.network.components import LinkId
-from repro.network.reservations import ReservationLedger
+from repro.network.reservations import CapacityFloor, ReservationLedger
 from repro.routing.paths import Path
-from repro.routing.shortest import LinkPredicate
 
 
 class AdmissionError(Exception):
@@ -41,14 +40,14 @@ class AdmissionController:
 
     ledger: ReservationLedger
 
-    def primary_link_predicate(self, traffic: TrafficSpec) -> LinkPredicate:
-        """Routing predicate: links able to carry a new primary reservation."""
-        bandwidth = traffic.bandwidth
+    def primary_link_predicate(self, traffic: TrafficSpec) -> CapacityFloor:
+        """Routing predicate: links able to carry a new primary reservation.
 
-        def admissible(link: LinkId) -> bool:
-            return self.ledger.can_reserve_primary(link, bandwidth)
-
-        return admissible
+        Returns a recognised :class:`CapacityFloor` (not an opaque
+        closure), so the flat routing core resolves admissibility to an
+        array compare and can cache the search result.
+        """
+        return self.ledger.capacity_floor(traffic.bandwidth)
 
     def check_primary(self, path: Path, traffic: TrafficSpec) -> None:
         """Admission test for a primary over ``path``; raises on failure."""

@@ -210,6 +210,10 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker processes for parallel evaluation (positive "
                  "integer or 'auto' = one per CPU; default auto). Results "
                  "are identical for any worker count.")
+        sub.add_argument(
+            "--no-route-cache", action="store_true",
+            help="disable the version-keyed route cache (escape hatch; "
+                 "results are identical either way, only slower)")
 
     return parser
 
@@ -336,6 +340,10 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.no_route_cache:
+        from repro.routing import set_route_cache_enabled
+
+        set_route_cache_enabled(False)
     # Each invocation observes itself through a fresh session registry
     # (and, with --trace-out, a shared trace sink), so exported counters
     # reflect exactly this run and are reproducible run-to-run.

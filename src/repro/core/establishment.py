@@ -95,11 +95,12 @@ def spare_aware_backup_cost(engine: "EstablishmentEngine",
     policy = engine.mux.policy
     components = policy.component_set(connection.primary.path)
     count = len(components)
+    mask = engine.mux.space.mask(components)
     bandwidth = connection.traffic.bandwidth
 
     def cost(link: LinkId) -> float:
         required = engine.mux.link_state(link).preview_add(
-            bandwidth, mux_degree, components, count
+            bandwidth, mux_degree, components, count, mask
         )
         growth = max(0.0, required - engine.ledger.spare_reserved(link))
         # The per-hop base (2x the channel bandwidth) keeps routes short —
@@ -460,6 +461,7 @@ class EstablishmentEngine:
         primary = connection.primary
         components = self.mux.policy.component_set(primary.path)
         count = len(components)
+        mask = self.mux.space.mask(components)
         bandwidth = traffic.bandwidth
 
         cost = None
@@ -486,7 +488,7 @@ class EstablishmentEngine:
                 if not self.ledger.can_set_spare(
                     link,
                     self.mux.link_state(link).preview_add(
-                        bandwidth, mux_degree, components, count
+                        bandwidth, mux_degree, components, count, mask
                     ),
                 )
             ]
@@ -581,6 +583,7 @@ class EstablishmentEngine:
         policy = self.mux.policy
         primary_components = policy.component_set(connection.primary.path)
         primary_count = len(primary_components)
+        primary_mask = self.mux.space.mask(primary_components)
 
         backup_counts = []
         p_muxfs = []
@@ -591,7 +594,7 @@ class EstablishmentEngine:
 
         psi_new = [
             self.mux.link_state(link).psi_sizes_for_candidate(
-                primary_components, primary_count, [degree]
+                primary_components, primary_count, [degree], primary_mask
             )[degree]
             for link in path.links
         ]

@@ -33,13 +33,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.channels.channel import Channel, ChannelRole
-from repro.core.overlap import OverlapIndex, OverlapPolicy
+from repro.core.overlap import ComponentSpace, OverlapIndex, OverlapPolicy
 from repro.network.components import LinkId
 from repro.routing.paths import Path
 from repro.util.validation import check_positive
 
 
-@dataclass
+@dataclass(slots=True)
 class MuxEntry:
     """Multiplexing bookkeeping for one backup on one link."""
 
@@ -48,6 +48,10 @@ class MuxEntry:
     mux_degree: int
     primary_components: frozenset
     primary_count: int
+    #: Integer bitset of ``primary_components`` under the engine's
+    #: :class:`~repro.core.overlap.ComponentSpace` (0 when the caller did
+    #: not pre-resolve one; pair tests then fall back to set intersection).
+    mask: int = 0
     #: ids of the backups in Π(B_i, ℓ) — non-multiplexable, priority ≤ ours.
     conflicts: set[int] = field(default_factory=set)
     #: bw(B_i) + Σ bw over `conflicts`; maintained incrementally.
@@ -113,6 +117,27 @@ class LinkMuxState:
         """|Ψ(B_i, ℓ)| — how many backups share spare with ``B_i``
         (Section 3.3's multiplexing-failure bound input)."""
         entry = self._entries[channel_id]
+        if not self.policy.exact:
+            # Integer mode: multiplexable ⇔ sc < ν, with sc a popcount
+            # when both entries carry pre-resolved bitset masks.
+            degree = entry.mux_degree
+            if degree <= 0:
+                return 0
+            mask = entry.mask
+            components = entry.primary_components
+            count = 0
+            for other in self._entries.values():
+                if other.channel_id == channel_id:
+                    continue
+                other_mask = other.mask
+                shared = (
+                    (mask & other_mask).bit_count()
+                    if mask and other_mask
+                    else len(components & other.primary_components)
+                )
+                if shared < degree:
+                    count += 1
+            return count
         return sum(
             1
             for other in self._entries.values()
@@ -124,16 +149,23 @@ class LinkMuxState:
         primary_components: frozenset,
         primary_count: int,
         mux_degrees: list[int],
+        mask: int = 0,
     ) -> dict[int, int]:
         """|Ψ| a *new* backup would see on this link, per candidate degree.
 
         This is the forward-pass computation of the literal negotiation
         scheme (Section 3.4): the reservation message collects these counts
-        so the destination can pick the largest admissible ν.
+        so the destination can pick the largest admissible ν.  ``mask`` is
+        the candidate primary's pre-resolved component bitset (optional).
         """
         sizes = dict.fromkeys(mux_degrees, 0)
         for other in self._entries.values():
-            shared = len(primary_components & other.primary_components)
+            other_mask = other.mask
+            shared = (
+                (mask & other_mask).bit_count()
+                if mask and other_mask
+                else len(primary_components & other.primary_components)
+            )
             for degree in mux_degrees:
                 if self.policy.multiplexable_counts(
                     primary_count, other.primary_count, shared, degree
@@ -145,6 +177,8 @@ class LinkMuxState:
     # pair tests
     # ------------------------------------------------------------------
     def _shared(self, a: MuxEntry, b: MuxEntry) -> int:
+        if a.mask and b.mask:
+            return (a.mask & b.mask).bit_count()
         if self.overlaps is not None and a.channel_id >= 0 and b.channel_id >= 0:
             return self.overlaps.shared_count(
                 a.channel_id, a.primary_components,
@@ -177,19 +211,51 @@ class LinkMuxState:
         mux_degree: int,
         primary_components: frozenset,
         primary_count: int,
+        mask: int = 0,
     ) -> float:
         """Pool size this link would need if the described backup joined.
 
         Pure query — used by establishment to test admission before
-        committing, without mutating any state.
+        committing, without mutating any state.  ``mask`` is the candidate
+        primary's pre-resolved component bitset (optional; enables the
+        popcount pair test in integer mode).
         """
         check_positive(bandwidth, "bandwidth")
+        if not self.policy.exact:
+            # Integer mode, inlined: in_pi(p, o) ⇔ o.ν ≤ p.ν and not
+            # (p.ν > 0 and sc < p.ν), with sc a popcount where possible.
+            # Entries the candidate does not conflict with keep their
+            # current requirement, whose maximum is already maintained in
+            # ``_spare_required`` — only conflicting entries need a look.
+            degree = mux_degree
+            new_requirement = bandwidth
+            conflict_peak = -1.0
+            for other in self._entries.values():
+                other_mask = other.mask
+                shared = (
+                    (mask & other_mask).bit_count()
+                    if mask and other_mask
+                    else len(primary_components & other.primary_components)
+                )
+                other_degree = other.mux_degree
+                if other_degree <= degree and (degree <= 0 or shared >= degree):
+                    new_requirement += other.bandwidth
+                if degree <= other_degree and (
+                    other_degree <= 0 or shared >= other_degree
+                ):
+                    if other.requirement > conflict_peak:
+                        conflict_peak = other.requirement
+            best = self._spare_required
+            if conflict_peak >= 0.0 and conflict_peak + bandwidth > best:
+                best = conflict_peak + bandwidth
+            return max(best, new_requirement)
         candidate = MuxEntry(
             channel_id=-1,
             bandwidth=bandwidth,
             mux_degree=mux_degree,
             primary_components=primary_components,
             primary_count=primary_count,
+            mask=mask,
         )
         new_requirement = bandwidth
         best = 0.0
@@ -209,11 +275,13 @@ class LinkMuxState:
         mux_degree: int,
         primary_components: frozenset,
         primary_count: int,
+        mask: int = 0,
     ) -> float:
         """Register a backup; returns the new required pool size.
 
         O(n) in the number of backups already on the link: one pairwise
         test per existing entry, updating requirements incrementally.
+        ``mask`` is the primary's pre-resolved component bitset (optional).
         """
         if channel_id in self._entries:
             raise ValueError(f"backup {channel_id} already on link {self.link}")
@@ -224,20 +292,43 @@ class LinkMuxState:
             mux_degree=mux_degree,
             primary_components=primary_components,
             primary_count=primary_count,
+            mask=mask,
         )
         entry.requirement = bandwidth
         # Requirements only grow on add, so the cached maximum needs at
         # most the new entry's requirement and the ones that just grew.
         peak = self._spare_required
-        for other in self._entries.values():
-            if self._in_pi(entry, other):
-                entry.conflicts.add(other.channel_id)
-                entry.requirement += other.bandwidth
-            if self._in_pi(other, entry):
-                other.conflicts.add(channel_id)
-                other.requirement += bandwidth
-                if other.requirement > peak:
-                    peak = other.requirement
+        if not self.policy.exact:
+            # Integer mode, inlined (see preview_add).
+            degree = mux_degree
+            for other in self._entries.values():
+                other_mask = other.mask
+                shared = (
+                    (mask & other_mask).bit_count()
+                    if mask and other_mask
+                    else len(primary_components & other.primary_components)
+                )
+                other_degree = other.mux_degree
+                if other_degree <= degree and (degree <= 0 or shared >= degree):
+                    entry.conflicts.add(other.channel_id)
+                    entry.requirement += other.bandwidth
+                if degree <= other_degree and (
+                    other_degree <= 0 or shared >= other_degree
+                ):
+                    other.conflicts.add(channel_id)
+                    other.requirement += bandwidth
+                    if other.requirement > peak:
+                        peak = other.requirement
+        else:
+            for other in self._entries.values():
+                if self._in_pi(entry, other):
+                    entry.conflicts.add(other.channel_id)
+                    entry.requirement += other.bandwidth
+                if self._in_pi(other, entry):
+                    other.conflicts.add(channel_id)
+                    other.requirement += bandwidth
+                    if other.requirement > peak:
+                        peak = other.requirement
         self._entries[channel_id] = entry
         self._spare_required = max(peak, entry.requirement)
         return self._spare_required
@@ -271,8 +362,13 @@ class MultiplexingEngine:
     def __init__(self, policy: OverlapPolicy | None = None) -> None:
         self.policy = policy or OverlapPolicy()
         #: Engine-wide shared-count cache: a backup pair sharing k links
-        #: costs one set intersection instead of k.
+        #: costs one set intersection instead of k.  Only consulted for
+        #: entry pairs without pre-resolved bitset masks (see ``space``).
         self.overlaps = OverlapIndex()
+        #: Engine-wide component interner: primaries' component sets are
+        #: resolved to integer bitsets once, turning every pairwise
+        #: shared-count in the mux hot loops into a popcount.
+        self.space = ComponentSpace()
         self._links: dict[LinkId, LinkMuxState] = {}
 
     def link_state(self, link: LinkId) -> LinkMuxState:
@@ -289,9 +385,15 @@ class MultiplexingEngine:
         return state.spare_required() if state else 0.0
 
     # ------------------------------------------------------------------
-    def _describe(self, backup: Channel, primary: Channel) -> tuple[frozenset, int]:
+    def component_mask(self, primary_path: Path) -> int:
+        """The primary's component set as an interned integer bitset."""
+        return self.space.mask(self.policy.component_set(primary_path))
+
+    def _describe(
+        self, backup: Channel, primary: Channel
+    ) -> tuple[frozenset, int, int]:
         components = self.policy.component_set(primary.path)
-        return components, len(components)
+        return components, len(components), self.space.mask(components)
 
     def preview_backup(
         self, backup_path: Path, bandwidth: float, mux_degree: int, primary: Channel
@@ -300,9 +402,10 @@ class MultiplexingEngine:
         were added — the establishment admission query."""
         components = self.policy.component_set(primary.path)
         count = len(components)
+        mask = self.space.mask(components)
         return {
             link: self.link_state(link).preview_add(
-                bandwidth, mux_degree, components, count
+                bandwidth, mux_degree, components, count, mask
             )
             for link in backup_path.links
         }
@@ -312,7 +415,7 @@ class MultiplexingEngine:
         required pool size per link."""
         if backup.role is not ChannelRole.BACKUP:
             raise ValueError(f"channel {backup.channel_id} is not a backup")
-        components, count = self._describe(backup, primary)
+        components, count, mask = self._describe(backup, primary)
         self.overlaps.register(backup.channel_id)
         return {
             link: self.link_state(link).add(
@@ -321,6 +424,7 @@ class MultiplexingEngine:
                 backup.mux_degree,
                 components,
                 count,
+                mask,
             )
             for link in backup.path.links
         }

@@ -95,6 +95,44 @@ def simultaneous_activation_probability_heterogeneous(
     return 1.0 - (survive_i + survive_j - survive_union)
 
 
+class ComponentSpace:
+    """Interner from components (nodes/links) to bit positions.
+
+    The multiplexing engine's hot loop compares primary-path component
+    sets pairwise (``sc(M_i, M_j)``).  Interning every component to a bit
+    and every component *set* to an integer mask turns each comparison
+    into ``(mask_a & mask_b).bit_count()`` — one machine-word-ish
+    operation instead of a hashed frozenset intersection.  Masks are
+    memoised per frozenset, so each distinct primary path is interned
+    once no matter how many links its backups land on.
+    """
+
+    __slots__ = ("_bits", "_set_masks")
+
+    def __init__(self) -> None:
+        self._bits: dict[object, int] = {}
+        self._set_masks: dict[frozenset, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def mask(self, components: frozenset) -> int:
+        """The integer bitset of ``components``, interning new ones."""
+        cached = self._set_masks.get(components)
+        if cached is not None:
+            return cached
+        bits = self._bits
+        mask = 0
+        for component in components:
+            bit = bits.get(component)
+            if bit is None:
+                bit = 1 << len(bits)
+                bits[component] = bit
+            mask |= bit
+        self._set_masks[components] = mask
+        return mask
+
+
 class OverlapIndex:
     """Cache of pairwise shared-component counts between primary paths.
 

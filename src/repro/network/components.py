@@ -10,14 +10,12 @@ when node ids are tuples.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Hashable
 
 # A node is identified by any hashable value; generators produce ints.
 NodeId = Hashable
 
 
-@dataclass(frozen=True, slots=True)
 class LinkId:
     """Identity of one simplex (uni-directional) link.
 
@@ -25,10 +23,33 @@ class LinkId:
     ``LinkId`` instances, one per direction, matching the paper's network
     model ("neighbor nodes are connected by two simplex links").  Each
     direction fails, and is reserved, independently.
+
+    Immutable and hashable like the frozen dataclass it replaces, but
+    with the hash computed once at construction: link ids key every hot
+    dict in the system (ledgers, mux states, spare snapshots), so the
+    per-lookup tuple hash showed up in establishment profiles.
     """
 
-    src: NodeId
-    dst: NodeId
+    __slots__ = ("src", "dst", "_hash")
+
+    def __init__(self, src: NodeId, dst: NodeId) -> None:
+        object.__setattr__(self, "src", src)
+        object.__setattr__(self, "dst", dst)
+        object.__setattr__(self, "_hash", hash((src, dst)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"LinkId is immutable; cannot set {name!r}")
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is LinkId:
+            return self.src == other.src and self.dst == other.dst
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (LinkId, (self.src, self.dst))
 
     def reversed(self) -> "LinkId":
         """The companion simplex link in the opposite direction."""
@@ -37,6 +58,9 @@ class LinkId:
     def endpoints(self) -> tuple[NodeId, NodeId]:
         """Both endpoint nodes, source first."""
         return (self.src, self.dst)
+
+    def __repr__(self) -> str:
+        return f"LinkId(src={self.src!r}, dst={self.dst!r})"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.src}->{self.dst}"

@@ -25,6 +25,35 @@ from repro.util.validation import check_non_negative
 #: accepted, absorbing float round-off from repeated reserve/release cycles.
 _EPSILON = 1e-9
 
+#: Public alias of the admission tolerance, for callers (the flat routing
+#: core) that reimplement ``can_reserve_primary`` over raw arrays and must
+#: agree bit-for-bit with the ledger's decision.
+CAPACITY_EPSILON = _EPSILON
+
+
+class CapacityFloor:
+    """The standard "enough free bandwidth" link predicate, reified.
+
+    Behaves exactly like ``lambda link: ledger.can_reserve_primary(link,
+    bandwidth)`` but carries its parameters openly, so the flat routing
+    core can recognise it, skip the per-link Python call, and test
+    admissibility as an array compare (``free + epsilon >= bandwidth``)
+    — and so the route cache can key on ``(ledger, bandwidth)`` instead
+    of refusing to cache behind an opaque closure.
+    """
+
+    __slots__ = ("ledger", "bandwidth")
+
+    def __init__(self, ledger: "ReservationLedger", bandwidth: float) -> None:
+        self.ledger = ledger
+        self.bandwidth = bandwidth
+
+    def __call__(self, link: LinkId) -> bool:
+        return self.ledger.can_reserve_primary(link, self.bandwidth)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CapacityFloor(bandwidth={self.bandwidth:g})"
+
 
 class InsufficientCapacityError(Exception):
     """Raised when a reservation would exceed a link's capacity."""
@@ -115,6 +144,24 @@ class ReservationLedger:
     def can_reserve_primary(self, link: LinkId, bandwidth: float) -> bool:
         """Whether ``bandwidth`` more primary reservation fits on ``link``."""
         return self._links[link].free + _EPSILON >= bandwidth
+
+    def capacity_floor(self, bandwidth: float) -> CapacityFloor:
+        """A :class:`CapacityFloor` predicate bound to this ledger.
+
+        Use this instead of a lambda over :meth:`can_reserve_primary` when
+        building :class:`~repro.routing.shortest.RouteConstraints` — the
+        flat routing core fast-paths and caches searches whose predicate
+        is a recognised capacity floor.
+        """
+        return CapacityFloor(self, bandwidth)
+
+    def free_values(self) -> list[float]:
+        """Per-link free bandwidth, in ``topology.links()`` order.
+
+        Bulk accessor for the flat routing core's free-capacity mirror;
+        one list build here replaces a dict lookup per link per search.
+        """
+        return [entry.free for entry in self._links.values()]
 
     def reserve_primary(self, link: LinkId, bandwidth: float) -> None:
         """Commit primary bandwidth; raises on capacity overflow."""

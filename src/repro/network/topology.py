@@ -31,14 +31,29 @@ class Topology:
         self._out: dict[NodeId, dict[NodeId, LinkId]] = {}
         self._in: dict[NodeId, dict[NodeId, LinkId]] = {}
         self._capacity: dict[LinkId, float] = {}
+        #: Monotonic structure counter; bumped by every actual node/link
+        #: insertion.  Derived views (the flat routing core's CSR arrays,
+        #: the cached total capacity) key their caches on it.
+        self._version = 0
+        #: Compiled flat view (see :mod:`repro.routing.flatgraph`), built
+        #: lazily and discarded whenever :attr:`version` moves on.
+        self._flat = None
+        self._total_capacity_cache: "tuple[int, float] | None" = None
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter, bumped on ``add_node``/``add_link``."""
+        return self._version
+
     def add_node(self, node: NodeId) -> NodeId:
         """Add ``node`` if absent; returns the node id for chaining."""
-        self._out.setdefault(node, {})
-        self._in.setdefault(node, {})
+        if node not in self._out:
+            self._out[node] = {}
+            self._in[node] = {}
+            self._version += 1
         return node
 
     def add_link(self, src: NodeId, dst: NodeId, capacity: float) -> LinkId:
@@ -59,6 +74,7 @@ class Topology:
         self._out[src][dst] = link
         self._in[dst][src] = link
         self._capacity[link] = float(capacity)
+        self._version += 1
         return link
 
     def add_duplex_link(self, a: NodeId, b: NodeId, capacity: float) -> tuple[LinkId, LinkId]:
@@ -105,8 +121,17 @@ class Topology:
 
     def total_capacity(self) -> float:
         """Sum of all simplex-link capacities (denominator of the paper's
-        *network-load* and *spare-bandwidth* percentages)."""
-        return sum(self._capacity.values())
+        *network-load* and *spare-bandwidth* percentages).
+
+        Cached per :attr:`version`, so repeated metric reads on a settled
+        topology don't re-walk the capacity table.
+        """
+        cached = self._total_capacity_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        total = sum(self._capacity.values())
+        self._total_capacity_cache = (self._version, total)
+        return total
 
     def successors(self, node: NodeId) -> Iterator[NodeId]:
         """Nodes reachable from ``node`` over one outgoing link."""
@@ -115,6 +140,11 @@ class Topology:
     def predecessors(self, node: NodeId) -> Iterator[NodeId]:
         """Nodes with a link into ``node``."""
         return iter(self._in[node])
+
+    def out_edges(self, node: NodeId) -> Iterator[tuple[NodeId, LinkId]]:
+        """``(neighbour, link)`` pairs for ``node``'s outgoing links,
+        in insertion order (the deterministic tie-break order)."""
+        return iter(self._out[node].items())
 
     def out_links(self, node: NodeId) -> Iterator[LinkId]:
         """Outgoing simplex links of ``node``."""
@@ -185,6 +215,14 @@ class Topology:
                 continue
             residual.add_link(link.src, link.dst, cap)
         return residual
+
+    def __getstate__(self) -> dict:
+        # The flat view holds array buffers and a route cache that are
+        # cheap to rebuild but expensive to ship to worker processes —
+        # drop it from pickles (workers recompile lazily on first search).
+        state = self.__dict__.copy()
+        state["_flat"] = None
+        return state
 
     def __contains__(self, item: object) -> bool:
         if isinstance(item, LinkId):

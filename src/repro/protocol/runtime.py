@@ -610,9 +610,9 @@ class ProtocolSimulation:
                 connection.source,
                 connection.destination,
                 RouteConstraints(
-                    link_admissible=lambda link: (
-                        self.network.ledger.free(link) + 1e-9 >= bandwidth
-                    ),
+                    # The live ledger gates links of the *residual* topology;
+                    # the flat core handles the cross-topology ledger sync.
+                    link_admissible=self.network.ledger.capacity_floor(bandwidth),
                     max_hops=connection.delay_qos.max_hops(shortest_possible),
                 ),
             )

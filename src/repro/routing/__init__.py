@@ -9,12 +9,20 @@ cost-biased backup-routing ablation.
 """
 
 from repro.routing.disjoint import DisjointPathError, sequential_disjoint_paths
+from repro.routing.flatgraph import (
+    FlatTopology,
+    flat_view,
+    route_cache_enabled,
+    set_route_cache_enabled,
+)
 from repro.routing.ksp import k_shortest_paths
 from repro.routing.paths import Path
 from repro.routing.shortest import (
     NoPathError,
     RouteConstraints,
     hop_distance,
+    reference_hop_distance,
+    reference_shortest_path,
     shortest_path,
 )
 
@@ -27,4 +35,10 @@ __all__ = [
     "sequential_disjoint_paths",
     "DisjointPathError",
     "k_shortest_paths",
+    "FlatTopology",
+    "flat_view",
+    "route_cache_enabled",
+    "set_route_cache_enabled",
+    "reference_shortest_path",
+    "reference_hop_distance",
 ]

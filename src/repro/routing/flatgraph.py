@@ -1,0 +1,572 @@
+"""Flat-index routing core: CSR topology, reusable buffers, route cache.
+
+Every primary/backup establishment and every baseline funnels through
+:func:`repro.routing.shortest.shortest_path` / ``hop_distance``.  The
+reference implementations there walk ``NodeId``-keyed dicts, allocate a
+fresh ``parent``/``seen`` per call, and pay a ``topology.link(u, v)``
+object lookup plus a Python predicate call per scanned link.  This module
+compiles a :class:`~repro.network.topology.Topology` **once** into
+integer-indexed CSR (compressed sparse row) arrays and reruns all searches
+over them:
+
+* **CSR layout** — nodes are interned to dense ints in insertion order;
+  ``_off[u]:_off[u+1]`` spans ``u``'s outgoing edge slots in ``_nbr``
+  (neighbour index), ``_links`` (the original :class:`LinkId`), and
+  ``_cap`` (capacity).  A mirrored in-CSR (``_ioff``/``_ipred``) drives
+  the backward half of bidirectional BFS.  Because the CSR is built in
+  insertion order, scans reproduce the reference implementation's
+  deterministic tie-break order bit for bit.
+* **Epoch-stamped buffers** — visited/parent/distance/cost arrays are
+  allocated once and invalidated by bumping a single epoch counter, so a
+  search does no per-call allocation beyond its frontier list.
+* **Constraint pre-resolution** — excluded node/link sets are stamped
+  into integer arrays before the scan, and the standard "enough free
+  bandwidth" predicate (a :class:`~repro.network.reservations.CapacityFloor`)
+  is resolved to an array compare against a ledger-synced free-capacity
+  mirror instead of a per-link closure call.
+* **Route cache** — results keyed by ``(src, dst, constraint signature)``
+  are memoised; searches that depend on the ledger additionally key on the
+  capacity floor's bandwidth and are invalidated wholesale whenever
+  ``ledger.version`` moves (any reserve/release/spare change).  Negative
+  results (*no feasible path*) are cached too.  Hit/miss totals surface as
+  ``route_cache.hits`` / ``route_cache.misses`` in the ``repro.obs``
+  registry.
+
+The compiled view lives on ``topology._flat`` and is discarded whenever
+``topology.version`` changes; worker processes never receive it in pickles
+(see ``Topology.__getstate__``) and recompile lazily.
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+
+from repro.network.components import LinkId, NodeId
+from repro.network.reservations import (
+    CAPACITY_EPSILON,
+    CapacityFloor,
+    ReservationLedger,
+)
+from repro.network.topology import Topology
+from repro.obs.registry import get_registry
+from repro.routing.paths import Path
+
+__all__ = [
+    "FlatTopology",
+    "RouteCache",
+    "flat_view",
+    "route_cache_enabled",
+    "set_route_cache_enabled",
+]
+
+#: Process-wide escape hatch (``--no-route-cache`` on the CLI).  Search
+#: kernels still run flat; only memoisation is disabled.
+_ROUTE_CACHE_ENABLED = True
+
+#: Sentinel distinguishing "cached None" (no feasible path) from a miss.
+_MISSING = object()
+
+
+def set_route_cache_enabled(enabled: bool) -> bool:
+    """Enable/disable route-result memoisation; returns the previous state."""
+    global _ROUTE_CACHE_ENABLED
+    previous = _ROUTE_CACHE_ENABLED
+    _ROUTE_CACHE_ENABLED = bool(enabled)
+    return previous
+
+
+def route_cache_enabled() -> bool:
+    """Whether route-result memoisation is currently enabled."""
+    return _ROUTE_CACHE_ENABLED
+
+
+def flat_view(topology: Topology) -> "FlatTopology":
+    """The compiled flat view of ``topology``, rebuilt if stale.
+
+    The view is cached on the topology and keyed by ``topology.version``,
+    so a settled topology compiles exactly once per process.
+    """
+    flat = topology._flat
+    if flat is None or flat.version != topology.version:
+        flat = FlatTopology(topology)
+        topology._flat = flat
+    return flat
+
+
+class RouteCache:
+    """Memoised search results for one :class:`FlatTopology`.
+
+    Two tables:
+
+    * ``static`` — searches whose outcome depends only on the topology and
+      the constraint sets (no bandwidth floor, no custom predicate/cost).
+      Valid for the lifetime of the flat view, i.e. until the topology
+      mutates.  Also holds ``hop_distance`` results under ``("hop", src,
+      dst)`` keys.
+    * ``floor`` — searches gated by a :class:`CapacityFloor`; keys gain the
+      floor's bandwidth and the whole table is cleared whenever the
+      observed ledger (by identity) or its ``version`` changes.
+    """
+
+    #: Safety valve: a table exceeding this is cleared outright rather
+    #: than evicted entry-by-entry (workloads never get close; this only
+    #: bounds pathological key churn).
+    MAX_ENTRIES = 65536
+
+    __slots__ = (
+        "_static", "_floor", "_floor_ledger", "_floor_version",
+        "_registry", "_hits", "_misses",
+    )
+
+    def __init__(self) -> None:
+        self._static: dict = {}
+        self._floor: dict = {}
+        self._floor_ledger: ReservationLedger | None = None
+        self._floor_version = -1
+        self._registry = None
+        self._hits = None
+        self._misses = None
+
+    # -- tables --------------------------------------------------------
+    def static_table(self) -> dict:
+        return self._static
+
+    def floor_table(self, ledger: ReservationLedger) -> dict:
+        """The floor table, cleared if ``ledger`` moved since last use."""
+        if self._floor_ledger is not ledger or self._floor_version != ledger.version:
+            self._floor.clear()
+            self._floor_ledger = ledger
+            self._floor_version = ledger.version
+        return self._floor
+
+    def store(self, table: dict, key, value) -> None:
+        if len(table) >= self.MAX_ENTRIES:
+            table.clear()
+        table[key] = value
+
+    # -- observability -------------------------------------------------
+    def _counters(self):
+        # Re-resolve lazily: obs sessions swap the process registry, and
+        # counters are identity-bound to the registry they came from.
+        registry = get_registry()
+        if registry is not self._registry:
+            self._registry = registry
+            self._hits = registry.counter("route_cache.hits")
+            self._misses = registry.counter("route_cache.misses")
+        return self._hits, self._misses
+
+    def record_hit(self) -> None:
+        self._counters()[0].inc()
+
+    def record_miss(self) -> None:
+        self._counters()[1].inc()
+
+    def __len__(self) -> int:
+        return len(self._static) + len(self._floor)
+
+
+class FlatTopology:
+    """Integer-indexed CSR compilation of a :class:`Topology`.
+
+    Exposes the two search entry points the public routing API dispatches
+    to: :meth:`search` (constrained BFS/Dijkstra returning a
+    :class:`~repro.routing.paths.Path` or ``None``) and
+    :meth:`hop_distance` (bidirectional BFS returning ``-1`` when
+    disconnected).  Kernels never raise "no path" — the thin wrappers in
+    :mod:`repro.routing.shortest` own the error surface.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self.version = topology.version
+
+        nodes = list(topology.nodes())
+        self.nodes = nodes
+        self.index: dict[NodeId, int] = {
+            node: i for i, node in enumerate(nodes)
+        }
+        n = len(nodes)
+        index = self.index
+
+        # Out-CSR, in node/link insertion order (= tie-break order).  The
+        # index arrays the kernels walk per edge are plain lists: CPython
+        # indexes a list ~2x faster than an ``array`` (no int re-boxing),
+        # and that difference dominates the inner loops.  The cold tables
+        # (capacities, link-position map) stay compact ``array`` storage.
+        nbr: list[int] = []
+        links: list[LinkId] = []
+        cap = array("d")
+        edge_slot: dict[LinkId, int] = {}
+        off = [0] * (n + 1)
+        total = 0
+        for i, node in enumerate(nodes):
+            for neighbour, link in topology.out_edges(node):
+                nbr.append(index[neighbour])
+                edge_slot[link] = total
+                links.append(link)
+                cap.append(topology.capacity(link))
+                total += 1
+            off[i + 1] = total
+        self._off = off
+        self._nbr = nbr
+        self._links = links
+        self._cap = cap
+        self.edge_slot = edge_slot
+        num_edges = total
+
+        # In-CSR (predecessor node indices only) for bidirectional BFS.
+        ioff = [0] * (n + 1)
+        ipred: list[int] = []
+        itotal = 0
+        for i, node in enumerate(nodes):
+            for pred in topology.predecessors(node):
+                ipred.append(index[pred])
+                itotal += 1
+            ioff[i + 1] = itotal
+        self._ioff = ioff
+        self._ipred = ipred
+
+        # Position-in-``topology.links()`` -> CSR edge slot, for the bulk
+        # free-capacity sync fast path.
+        self._links_pos_slot = array(
+            "i", (edge_slot[link] for link in topology.links())
+        )
+
+        # Epoch-stamped reusable search buffers.  A stamp equal to the
+        # current epoch means "set this search"; bumping the epoch resets
+        # every buffer at once.
+        self._epoch = 0
+        self._seen = [0] * n          # BFS visited / forward side
+        self._seen_b = [0] * n        # bidirectional backward side
+        self._parent = [0] * n
+        self._depth = [0] * n         # BFS depth / forward dist
+        self._depth_b = [0] * n       # backward dist
+        self._xnode = [0] * n         # excluded-node stamps
+        self._xedge = [0] * num_edges  # excluded-link stamps
+        self._best = [0.0] * n        # Dijkstra tentative cost
+        self._best_stamp = [0] * n
+        self._done = [0] * n          # Dijkstra settled stamps
+        self._hops = [0] * n          # Dijkstra hop counts
+
+        # Free-capacity mirror for CapacityFloor admissibility, synced
+        # against (ledger identity, ledger.version).
+        self._free = [0.0] * num_edges
+        self._free_ledger: ReservationLedger | None = None
+        self._free_version = -1
+
+        self.cache = RouteCache()
+
+    # ------------------------------------------------------------------
+    # public entry points
+    # ------------------------------------------------------------------
+    def search(self, src: NodeId, dst: NodeId, constraints, cost) -> Path | None:
+        """Constrained shortest path, or ``None`` when none is feasible.
+
+        Endpoint validation (``src != dst``, both known, neither excluded)
+        is the caller's job; this mirrors the retained reference kernels
+        exactly, including tie-breaks and the negative-cost ``ValueError``.
+        """
+        pred = constraints.link_admissible
+        floor: CapacityFloor | None = None
+        if isinstance(pred, CapacityFloor):
+            floor = pred
+            pred = None
+
+        cacheable = _ROUTE_CACHE_ENABLED and cost is None and pred is None
+        table = key = None
+        if cacheable:
+            cache = self.cache
+            key = (
+                src, dst, constraints.excluded_nodes,
+                constraints.excluded_links, constraints.max_hops,
+            )
+            if floor is None:
+                table = cache.static_table()
+            else:
+                table = cache.floor_table(floor.ledger)
+                key = (*key, floor.bandwidth)
+            hit = table.get(key, _MISSING)
+            if hit is not _MISSING:
+                cache.record_hit()
+                return hit
+
+        s = self.index[src]
+        t = self.index[dst]
+        ep = self._stamp_exclusions(constraints)
+        if floor is not None:
+            self._sync_free(floor.ledger)
+            floor_bw = floor.bandwidth
+        else:
+            floor_bw = None
+
+        if cost is None:
+            path = self._run_bfs(s, t, ep, constraints.max_hops, floor_bw, pred)
+        else:
+            path = self._run_dijkstra(
+                s, t, ep, constraints.max_hops, floor_bw, pred, cost
+            )
+
+        if cacheable:
+            cache.record_miss()
+            cache.store(table, key, path)
+        return path
+
+    def hop_distance(self, src: NodeId, dst: NodeId) -> int:
+        """Unconstrained hop count via bidirectional BFS; ``-1`` when
+        ``dst`` is unreachable.  ``src == dst`` is the caller's case."""
+        cacheable = _ROUTE_CACHE_ENABLED
+        if cacheable:
+            cache = self.cache
+            table = cache.static_table()
+            key = ("hop", src, dst)
+            hit = table.get(key, _MISSING)
+            if hit is not _MISSING:
+                cache.record_hit()
+                return hit
+
+        s = self.index[src]  # KeyError on unknown src, like the reference
+        t = self.index.get(dst)
+        dist = -1 if t is None else self._run_bidirectional(s, t)
+
+        if cacheable:
+            cache.record_miss()
+            cache.store(table, key, dist)
+        return dist
+
+    # ------------------------------------------------------------------
+    # constraint resolution
+    # ------------------------------------------------------------------
+    def _stamp_exclusions(self, constraints) -> int:
+        """Bump the epoch and stamp excluded components; returns the epoch.
+
+        Components absent from the topology are ignored — the reference
+        implementation's membership tests can never match them either.
+        """
+        self._epoch += 1
+        ep = self._epoch
+        excluded_nodes = constraints.excluded_nodes
+        if excluded_nodes:
+            xnode = self._xnode
+            index_get = self.index.get
+            for node in excluded_nodes:
+                i = index_get(node)
+                if i is not None:
+                    xnode[i] = ep
+        excluded_links = constraints.excluded_links
+        if excluded_links:
+            xedge = self._xedge
+            slot_get = self.edge_slot.get
+            for link in excluded_links:
+                e = slot_get(link)
+                if e is not None:
+                    xedge[e] = ep
+        return ep
+
+    def _sync_free(self, ledger: ReservationLedger) -> None:
+        """Refresh the per-edge free-bandwidth mirror from ``ledger``."""
+        if (self._free_ledger is ledger
+                and self._free_version == ledger.version):
+            return
+        free = self._free
+        if ledger.topology is self.topology:
+            # Bulk path: ledger entries are in topology.links() order.
+            for pos, value in enumerate(ledger.free_values()):
+                free[self._links_pos_slot[pos]] = value
+        else:
+            # Routing on one topology against another's ledger (the
+            # runtime re-establishes over a residual topology with the
+            # live ledger); fall back to per-link lookups by LinkId.
+            for e, link in enumerate(self._links):
+                free[e] = ledger.free(link)
+        self._free_ledger = ledger
+        self._free_version = ledger.version
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+    def _run_bfs(self, s: int, t: int, ep: int, max_hops, floor_bw, pred):
+        seen = self._seen
+        parent = self._parent
+        depth = self._depth
+        off = self._off
+        nbr = self._nbr
+        xnode = self._xnode
+        xedge = self._xedge
+        links = self._links
+        free = self._free
+        limit = len(self.nodes) if max_hops is None else max_hops
+
+        seen[s] = ep
+        parent[s] = s
+        depth[s] = 0
+        queue = [s]
+        head = 0
+        while head < len(queue):
+            u = queue[head]
+            head += 1
+            d = depth[u]
+            if d >= limit:
+                continue
+            for e in range(off[u], off[u + 1]):
+                v = nbr[e]
+                if seen[v] == ep:
+                    continue
+                if xedge[e] == ep or xnode[v] == ep:
+                    continue
+                if floor_bw is not None:
+                    if free[e] + CAPACITY_EPSILON < floor_bw:
+                        continue
+                elif pred is not None and not pred(links[e]):
+                    continue
+                seen[v] = ep
+                parent[v] = u
+                if v == t:
+                    return self._walk_parents(s, t)
+                depth[v] = d + 1
+                queue.append(v)
+        return None
+
+    def _run_dijkstra(self, s: int, t: int, ep: int, max_hops,
+                      floor_bw, pred, cost):
+        best = self._best
+        best_stamp = self._best_stamp
+        done = self._done
+        hops = self._hops
+        parent = self._parent
+        off = self._off
+        nbr = self._nbr
+        xnode = self._xnode
+        xedge = self._xedge
+        links = self._links
+        free = self._free
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        limit = len(self.nodes) if max_hops is None else max_hops
+
+        # Heap entries carry a monotone counter so ties never compare
+        # beyond it — identical pop order to the reference kernel.
+        counter = 0
+        best[s] = 0.0
+        best_stamp[s] = ep
+        parent[s] = s
+        hops[s] = 0
+        heap = [(0.0, 0, s)]
+        while heap:
+            dist, _, u = heappop(heap)
+            if done[u] == ep:
+                continue
+            if u == t:
+                return self._walk_parents(s, t)
+            done[u] = ep
+            if hops[u] >= limit:
+                continue
+            u_hops = hops[u] + 1
+            for e in range(off[u], off[u + 1]):
+                v = nbr[e]
+                if done[v] == ep:
+                    continue
+                if xedge[e] == ep or xnode[v] == ep:
+                    continue
+                if floor_bw is not None:
+                    if free[e] + CAPACITY_EPSILON < floor_bw:
+                        continue
+                elif pred is not None and not pred(links[e]):
+                    continue
+                link_cost = cost(links[e])
+                if link_cost < 0:
+                    raise ValueError(
+                        f"negative link cost {link_cost!r} on {links[e]}"
+                    )
+                candidate = dist + link_cost
+                if best_stamp[v] != ep or candidate < best[v]:
+                    best[v] = candidate
+                    best_stamp[v] = ep
+                    parent[v] = u
+                    hops[v] = u_hops
+                    counter += 1
+                    heappush(heap, (candidate, counter, v))
+        return None
+
+    def _run_bidirectional(self, s: int, t: int) -> int:
+        """Meet-in-the-middle BFS over the out- and in-CSR.
+
+        Expands the smaller frontier one full level at a time; a candidate
+        meeting through any scanned edge is recorded.  After levels ``df``
+        and ``db`` both complete, every s→t path of length at most
+        ``df + db`` has been detected, so any undetected path is at least
+        ``df + db + 1`` hops — a recorded best of at most that is optimal
+        and the loop stops.
+        """
+        ep = self._epoch = self._epoch + 1
+        seen_f = self._seen
+        seen_b = self._seen_b
+        dist_f = self._depth
+        dist_b = self._depth_b
+        off = self._off
+        nbr = self._nbr
+        ioff = self._ioff
+        ipred = self._ipred
+
+        seen_f[s] = ep
+        dist_f[s] = 0
+        seen_b[t] = ep
+        dist_b[t] = 0
+        frontier_f = [s]
+        frontier_b = [t]
+        df = db = 0
+        best = -1
+        while frontier_f and frontier_b:
+            if best >= 0 and best <= df + db + 1:
+                break
+            if len(frontier_f) <= len(frontier_b):
+                level = []
+                for u in frontier_f:
+                    du = dist_f[u] + 1
+                    for e in range(off[u], off[u + 1]):
+                        v = nbr[e]
+                        if seen_b[v] == ep:
+                            candidate = du + dist_b[v]
+                            if best < 0 or candidate < best:
+                                best = candidate
+                        if seen_f[v] != ep:
+                            seen_f[v] = ep
+                            dist_f[v] = du
+                            level.append(v)
+                frontier_f = level
+                df += 1
+            else:
+                level = []
+                for u in frontier_b:
+                    du = dist_b[u] + 1
+                    for e in range(ioff[u], ioff[u + 1]):
+                        v = ipred[e]
+                        if seen_f[v] == ep:
+                            candidate = dist_f[v] + du
+                            if best < 0 or candidate < best:
+                                best = candidate
+                        if seen_b[v] != ep:
+                            seen_b[v] = ep
+                            dist_b[v] = du
+                            level.append(v)
+                frontier_b = level
+                db += 1
+        return best
+
+    def _walk_parents(self, s: int, t: int) -> Path:
+        nodes = self.nodes
+        parent = self._parent
+        out = [nodes[t]]
+        u = t
+        while u != s:
+            u = parent[u]
+            out.append(nodes[u])
+        out.reverse()
+        return Path(out)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FlatTopology({self.topology.name!r}, "
+            f"nodes={len(self.nodes)}, edges={len(self._nbr)}, "
+            f"version={self.version})"
+        )

@@ -7,6 +7,14 @@ must respect the delay QoS (at most ``shortest + slack`` hops, Section 7).
 
 Hop-count search uses BFS; an optional per-link cost function switches to
 Dijkstra, which the cost-biased backup-routing ablation uses.
+
+Both searches normally execute on the flat-index routing core
+(:mod:`repro.routing.flatgraph`): the topology is compiled once into
+integer CSR arrays, searches reuse epoch-stamped buffers, and cacheable
+results are memoised.  The original dict-based kernels are retained below
+as the *reference implementation* — :func:`reference_shortest_path` and
+:func:`reference_hop_distance` — and the golden-path equivalence tests
+assert the two produce bit-identical paths, tie-breaks included.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from dataclasses import dataclass, field
 
 from repro.network.components import LinkId, NodeId
 from repro.network.topology import Topology
+from repro.routing.flatgraph import flat_view
 from repro.routing.paths import Path
 
 LinkPredicate = Callable[[LinkId], bool]
@@ -77,7 +86,20 @@ def hop_distance(topology: Topology, src: NodeId, dst: NodeId) -> int:
 
     This is the paper's "shortest-possible path" length used as the baseline
     of the delay QoS.  Raises :class:`NoPathError` if ``dst`` is unreachable.
+
+    Runs on the flat routing core (cached bidirectional BFS); see
+    :func:`reference_hop_distance` for the retained reference kernel.
     """
+    if src == dst:
+        return 0
+    dist = flat_view(topology).hop_distance(src, dst)
+    if dist < 0:
+        raise NoPathError(src, dst, "disconnected")
+    return dist
+
+
+def reference_hop_distance(topology: Topology, src: NodeId, dst: NodeId) -> int:
+    """Reference (dict-based, single-direction BFS) ``hop_distance``."""
     if src == dst:
         return 0
     seen = {src}
@@ -108,6 +130,34 @@ def shortest_path(
 
     Ties are broken deterministically by node insertion order, making whole
     experiments reproducible without a seed.
+
+    Runs on the flat routing core; see :func:`reference_shortest_path` for
+    the retained reference kernels the golden tests compare against.
+    """
+    constraints = constraints or RouteConstraints()
+    if src == dst:
+        raise ValueError(f"source and destination are both {src!r}")
+    if not topology.has_node(src) or not topology.has_node(dst):
+        raise NoPathError(src, dst, "unknown endpoint")
+    if not constraints.allows_source(src) or dst in constraints.excluded_nodes:
+        raise NoPathError(src, dst, "endpoint excluded")
+    path = flat_view(topology).search(src, dst, constraints, cost)
+    if path is None:
+        raise NoPathError(src, dst, "constraints unsatisfiable")
+    return path
+
+
+def reference_shortest_path(
+    topology: Topology,
+    src: NodeId,
+    dst: NodeId,
+    constraints: RouteConstraints | None = None,
+    cost: LinkCost | None = None,
+) -> Path:
+    """Reference (dict-based) ``shortest_path`` — identical contract.
+
+    Kept as the behavioural oracle: the flat-index kernels must return
+    bit-identical paths, and the golden equivalence tests enforce it.
     """
     constraints = constraints or RouteConstraints()
     if src == dst:

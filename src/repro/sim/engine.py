@@ -162,6 +162,9 @@ class EventEngine:
         """Fire the next pending event; returns ``False`` when idle."""
         while self._heap:
             event = heapq.heappop(self._heap)
+            # The gauge tracks the physical heap (tombstones included), so
+            # every pop moves it — not just pushes in ``schedule_at``.
+            self._g_heap.set(len(self._heap))
             if event.cancelled:
                 continue
             self._fire(event)
@@ -185,6 +188,7 @@ class EventEngine:
             head = self._heap[0]
             if head.cancelled:
                 heapq.heappop(self._heap)
+                self._g_heap.set(len(self._heap))
                 continue
             if until is not None and head.time > until:
                 self._now = max(self._now, until)

@@ -272,16 +272,52 @@ class TestEngineOverlapCache:
             traffic=TrafficSpec(),
         )
 
-    def test_cache_hits_across_shared_links(self):
+    def test_masks_resolve_pairs_without_set_intersections(self):
         engine = MultiplexingEngine()
-        # Two backups sharing two links: the same pair is tested on both
-        # links, so the second test must be a cache hit.
+        # Two backups sharing two links: in integer mode the pair test is
+        # a popcount over interned component bitsets, so the set-based
+        # OverlapIndex is never consulted...
         engine.add_backup(self._backup(0, (1, 2, 3, 4), 3),
                          self._primary(0, (1, 8, 4)))
         engine.add_backup(self._backup(1, (0, 2, 3, 4), 3),
                          self._primary(1, (0, 9, 4)))
-        assert engine.overlaps.misses == 1
-        assert engine.overlaps.hits >= 1
+        assert engine.overlaps.misses == 0
+        assert engine.overlaps.hits == 0
+        # ...and both primaries' component sets are interned in the
+        # engine-wide space (5 distinct components each, sharing node 4).
+        assert len(engine.space) == 9
+
+    def test_masks_agree_with_set_intersections(self):
+        # The mask fast path must size pools identically to the maskless
+        # set-intersection path, including mixed entries (one masked, one
+        # not) via the per-pair fallback.
+        engine = MultiplexingEngine()
+        engine.add_backup(self._backup(0, (1, 2, 3, 4), 3),
+                         self._primary(0, (1, 8, 4)))
+        engine.add_backup(self._backup(1, (0, 2, 3, 4), 2),
+                         self._primary(1, (0, 9, 4)))
+        masked = engine.link_state(LinkId(2, 3))
+
+        from repro.core.multiplexing import LinkMuxState
+        maskless = LinkMuxState(LinkId(2, 3), engine.policy)
+        mixed = LinkMuxState(LinkId(2, 3), engine.policy)
+        for i, (primary, degree) in enumerate(
+            [(self._primary(0, (1, 8, 4)), 3), (self._primary(1, (0, 9, 4)), 2)]
+        ):
+            components = engine.policy.component_set(primary.path)
+            maskless.add(i, 1.0, degree, components, len(components))
+            # Mixed: first entry masked, second not.
+            mask = engine.space.mask(components) if i == 0 else 0
+            mixed.add(i, 1.0, degree, components, len(components), mask)
+        assert (masked.spare_required()
+                == maskless.spare_required()
+                == mixed.spare_required()
+                == masked.spare_required_recomputed())
+        preview_args = (1.0, 2, frozenset({4, 7}), 2)
+        assert (masked.preview_add(*preview_args)
+                == maskless.preview_add(*preview_args)
+                == masked.preview_add(*preview_args,
+                                      engine.space.mask(frozenset({4, 7}))))
 
     def test_readd_with_new_primary_not_served_stale_counts(self):
         engine = MultiplexingEngine()

@@ -124,6 +124,22 @@ class TestEventEngine:
         engine.run()
         assert engine.pending == 0
 
+    def test_heap_depth_gauge_tracks_pops(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        engine = EventEngine(metrics=registry)
+        gauge = registry.gauge("engine.heap_depth")
+        engine.schedule(1.0, lambda: None)
+        handle = engine.schedule(2.0, lambda: None)
+        engine.schedule(3.0, lambda: None)
+        assert gauge.value == 3
+        engine.step()
+        assert gauge.value == 2  # fire pop moves the gauge, not just pushes
+        handle.cancel()
+        engine.run()  # pops the tombstone, then fires the last event
+        assert gauge.value == 0
+
     def test_cancel_is_idempotent(self):
         engine = EventEngine()
         handle = engine.schedule(1.0, lambda: None)
