@@ -1,0 +1,304 @@
+"""The chaos engine: execute schedules, audit invariants, fan out
+campaigns.
+
+:func:`run_schedule` replays one :class:`~repro.chaos.schedule.
+ChaosSchedule` against a fresh :class:`~repro.protocol.runtime.
+ProtocolSimulation` with an attached :class:`~repro.protocol.invariants.
+InvariantAuditor`, checking invariants after every injected event and
+exhaustively at quiescence.  Reactive triggers are armed on the live
+trace stream and their resolved firings recorded as static events, so
+the result is always replayable without trigger state.
+
+:func:`run_campaign` fans a batch of schedules over
+:func:`repro.parallel.parallel_map`, inheriting its determinism
+guarantee: each schedule is seeded independently at build time and runs
+under a fresh per-item registry, so campaign results are bit-identical
+for any worker count.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+
+from repro.chaos.schedule import FAIL, ChaosEvent, ChaosSchedule
+from repro.chaos.profiles import DEFAULT_PROFILES, build_schedule
+from repro.channels.qos import FaultToleranceQoS
+from repro.core.bcp import BCPNetwork
+from repro.network.generators import mesh, torus
+from repro.parallel import parallel_map
+from repro.protocol.config import ProtocolConfig
+from repro.protocol.invariants import InvariantAuditor, InvariantViolation
+from repro.protocol.runtime import ProtocolSimulation
+from repro.protocol.states import IllegalTransitionError
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class ChaosEnvironment:
+    """The network a chaos campaign runs against (artifact-serialisable).
+
+    Deliberately small by default: chaos runs execute hundreds of
+    schedules, and a handful of multi-hop connections over a 4x4 torus
+    already exercises every recovery path.
+    """
+
+    topology: str = "torus"
+    rows: int = 4
+    cols: int = 4
+    capacity: float = 200.0
+    num_backups: int = 2
+    mux_degree: int = 1
+    connections: int = 6
+
+    def build(self) -> BCPNetwork:
+        """Instantiate the topology and establish the connection set.
+
+        Endpoint pairs are chosen deterministically (node ``i`` to the
+        node half the network away), so the same environment always
+        yields the same established state.
+        """
+        if self.topology == "torus":
+            topo = torus(self.rows, self.cols, capacity=self.capacity)
+        elif self.topology == "mesh":
+            topo = mesh(self.rows, self.cols, capacity=self.capacity)
+        else:
+            raise ValueError(f"unknown topology {self.topology!r}")
+        network = BCPNetwork(topo)
+        nodes = sorted(topo.nodes())
+        half = len(nodes) // 2
+        qos = FaultToleranceQoS(
+            num_backups=self.num_backups, mux_degree=self.mux_degree
+        )
+        established = 0
+        for index in range(len(nodes)):
+            if established >= self.connections:
+                break
+            src = nodes[index]
+            dst = nodes[(index + half) % len(nodes)]
+            if src == dst:
+                continue
+            network.establish(src, dst, ft_qos=qos)
+            established += 1
+        return network
+
+    def to_dict(self) -> dict:
+        return {
+            "topology": self.topology,
+            "rows": self.rows,
+            "cols": self.cols,
+            "capacity": self.capacity,
+            "num_backups": self.num_backups,
+            "mux_degree": self.mux_degree,
+            "connections": self.connections,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "ChaosEnvironment":
+        return ChaosEnvironment(**data)
+
+
+@dataclass
+class ChaosRunResult:
+    """Outcome of one schedule execution."""
+
+    schedule: ChaosSchedule
+    #: Every invariant breach the auditor recorded, in detection order.
+    violations: tuple = field(default_factory=tuple)
+    #: The flattened injection stream: static events plus resolved
+    #: trigger firings, in time order.  This is what the shrinker bisects
+    #: and what a replay artifact stores.
+    materialized: tuple = field(default_factory=tuple)
+    final_time: float = 0.0
+    drained: bool = True
+    recovered: int = 0
+    unrecoverable: int = 0
+    rejoins: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict:
+        return {
+            "schedule": self.schedule.to_dict(),
+            "violations": [v.as_dict() for v in self.violations],
+            "materialized": [e.to_dict() for e in self.materialized],
+            "final_time": self.final_time,
+            "drained": self.drained,
+            "recovered": self.recovered,
+            "unrecoverable": self.unrecoverable,
+            "rejoins": self.rejoins,
+        }
+
+
+def run_schedule(
+    schedule: ChaosSchedule,
+    network: BCPNetwork,
+    config: "ProtocolConfig | None" = None,
+    metrics=None,
+) -> ChaosRunResult:
+    """Execute one schedule against a fresh runtime and audit it."""
+    config = config or ProtocolConfig()
+    simulation = ProtocolSimulation(
+        network, config, seed=schedule.seed, metrics=metrics
+    )
+    auditor = InvariantAuditor(simulation)
+    auditor.attach()
+    engine = simulation.engine
+    materialized: list[ChaosEvent] = []
+
+    def inject(event: ChaosEvent) -> None:
+        if event.action == FAIL:
+            simulation._apply_failure(event.component)
+        else:
+            simulation._apply_repair(event.component)
+        auditor.check_event()
+
+    for event in schedule.events:
+        materialized.append(event)
+        engine.schedule_at(event.time, inject, event)
+
+    # Reactive triggers: armed on the live trace stream, one firing each;
+    # the resolved injection joins the materialized stream so the run is
+    # replayable (and shrinkable) as plain timed events.
+    pending_triggers = list(schedule.triggers)
+    listener = None
+    if pending_triggers:
+        def listener(trace_event) -> None:
+            for trigger in tuple(pending_triggers):
+                if trigger.category != trace_event.category:
+                    continue
+                pending_triggers.remove(trigger)
+                resolved = ChaosEvent(
+                    time=engine.now + trigger.delay,
+                    action=trigger.action,
+                    component=trigger.component,
+                )
+                materialized.append(resolved)
+                engine.schedule_at(resolved.time, inject, resolved)
+
+        simulation.trace.subscribe(listener)
+
+    aborted = False
+    try:
+        simulation.run(until=schedule.horizon)
+    except IllegalTransitionError as exc:
+        aborted = True
+        auditor.record("illegal-transition", "state-machine", str(exc))
+    finally:
+        if listener is not None:
+            simulation.trace.unsubscribe(listener)
+
+    drained = engine.pending == 0
+    if not drained and not aborted:
+        auditor.record(
+            "quiescence-timeout", "engine",
+            f"{engine.pending} events still pending at horizon "
+            f"{schedule.horizon:g} (the run failed to quiesce)",
+        )
+    auditor.check_quiescent(drained=drained and not aborted)
+    auditor.detach()
+    materialized.sort(key=lambda event: event.time)
+    return ChaosRunResult(
+        schedule=schedule,
+        violations=tuple(auditor.violations),
+        materialized=tuple(materialized),
+        final_time=engine.now,
+        drained=drained,
+        recovered=simulation.metrics.recovered_count(),
+        unrecoverable=simulation.metrics.unrecoverable,
+        rejoins=simulation.metrics.rejoins,
+    )
+
+
+# ----------------------------------------------------------------------
+# campaigns
+# ----------------------------------------------------------------------
+def build_campaign(
+    seed: int,
+    size: int,
+    network: BCPNetwork,
+    config: "ProtocolConfig | None" = None,
+    profiles=DEFAULT_PROFILES,
+) -> list[ChaosSchedule]:
+    """Generate ``size`` schedules, rotating over ``profiles``.
+
+    Per-item seeds are drawn from one parent RNG (the
+    :mod:`repro.parallel` seeding discipline), so the campaign's contents
+    depend only on ``seed`` — never on worker count or execution order.
+    """
+    if size < 1:
+        raise ValueError(f"campaign size must be >= 1, got {size}")
+    if not profiles:
+        raise ValueError("campaign needs at least one profile")
+    config = config or ProtocolConfig()
+    parent = make_rng(seed)
+    return [
+        build_schedule(
+            profiles[index % len(profiles)],
+            parent.getrandbits(64),
+            network,
+            config,
+        )
+        for index in range(size)
+    ]
+
+
+def _campaign_item(
+    schedule: ChaosSchedule, network: BCPNetwork, config: ProtocolConfig
+) -> ChaosRunResult:
+    return run_schedule(schedule, network, config)
+
+
+def run_campaign(
+    schedules,
+    network: BCPNetwork,
+    config: "ProtocolConfig | None" = None,
+    workers: "int | None" = 1,
+    metrics=None,
+) -> list[ChaosRunResult]:
+    """Run a batch of schedules, optionally across worker processes.
+
+    Results come back in schedule order and are bit-identical for any
+    worker count (each item runs under its own seed and fresh registry;
+    merging is ordered — see :func:`repro.parallel.parallel_map`).
+    """
+    config = config or ProtocolConfig()
+    runner = functools.partial(_campaign_item, network=network, config=config)
+    return parallel_map(runner, list(schedules), workers=workers,
+                        metrics=metrics)
+
+
+def campaign_summary(results) -> dict:
+    """Aggregate counts over a campaign's run results (report/CI gate)."""
+    violations: dict[str, int] = {}
+    failing = 0
+    for result in results:
+        if result.violations:
+            failing += 1
+        for violation in result.violations:
+            violations[violation.invariant] = (
+                violations.get(violation.invariant, 0) + 1
+            )
+    return {
+        "runs": len(results),
+        "failing_runs": failing,
+        "violations": violations,
+        "recovered": sum(r.recovered for r in results),
+        "unrecoverable": sum(r.unrecoverable for r in results),
+        "rejoins": sum(r.rejoins for r in results),
+        "undrained": sum(1 for r in results if not r.drained),
+    }
+
+
+# Re-exported for artifact consumers.
+__all__ = [
+    "ChaosEnvironment",
+    "ChaosRunResult",
+    "run_schedule",
+    "build_campaign",
+    "run_campaign",
+    "campaign_summary",
+    "InvariantViolation",
+]

@@ -7,6 +7,10 @@ Examples::
     python -m repro table3 --rows 4 --cols 4 --double-samples 30
     python -m repro delay-bound
     python -m repro stats --rows 4 --cols 4     # one scenario + metrics
+    python -m repro stats --failures 0 --fail-at "1:link:0->1" \
+        --repair-at "40:link:0->1"              # explicit timed injection
+    python -m repro chaos --seed 0 --campaign-size 25   # invariant audit
+    python -m repro chaos --replay chaos-seed0-run3.json
     python -m repro all --rows 4 --cols 4       # quick full sweep
 
 Every subcommand prints the regenerated table (same rows as the paper)
@@ -68,6 +72,68 @@ def _parse_workers(text: str) -> "int | None":
             f"workers must be >= 1, got {value}"
         )
     return value
+
+
+def _parse_component(kind: str, ident: str):
+    """Parse the component half of an injection spec."""
+    from repro.network.components import LinkId
+
+    def node(text: str):
+        try:
+            return int(text)
+        except ValueError:
+            return text
+
+    if kind == "node":
+        return node(ident)
+    if kind == "link":
+        try:
+            src, dst = ident.split("->")
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"link spec must be SRC->DST, got {ident!r}"
+            ) from None
+        return LinkId(node(src), node(dst))
+    raise argparse.ArgumentTypeError(
+        f"component kind must be 'node' or 'link', got {kind!r}"
+    )
+
+
+def _parse_injection(text: str) -> tuple[float, object]:
+    """``TIME:node:ID`` or ``TIME:link:SRC->DST`` -> (time, component)."""
+    parts = text.split(":", 2)
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"injection spec must be TIME:node:ID or TIME:link:SRC->DST, "
+            f"got {text!r}"
+        )
+    time_text, kind, ident = parts
+    try:
+        time = float(time_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"injection time must be a number, got {time_text!r}"
+        ) from None
+    if time < 0:
+        raise argparse.ArgumentTypeError(
+            f"injection time must be >= 0, got {time:g}"
+        )
+    return time, _parse_component(kind, ident)
+
+
+def _parse_profiles(text: str) -> tuple[str, ...]:
+    from repro.chaos import PROFILES
+
+    names = tuple(part for part in text.split(",") if part != "")
+    if not names:
+        raise argparse.ArgumentTypeError("at least one profile is required")
+    unknown = [name for name in names if name not in PROFILES]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown profile(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(PROFILES))}"
+        )
+    return names
 
 
 def _parse_degrees(text: str) -> tuple[int, ...]:
@@ -192,8 +258,47 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--mux", type=int, default=3)
     stats.add_argument("--backups", type=int, default=1)
     stats.add_argument("--failures", type=int, default=1,
-                       help="fail this many links (lexicographically first)")
+                       help="fail this many links (lexicographically first); "
+                            "0 with --fail-at for fully explicit injection")
     stats.add_argument("--horizon", type=float, default=200.0)
+    stats.add_argument(
+        "--fail-at", metavar="SPEC", type=_parse_injection,
+        action="append", default=[],
+        help="crash a component at a given time "
+             "(TIME:node:ID or TIME:link:SRC->DST; repeatable)")
+    stats.add_argument(
+        "--repair-at", metavar="SPEC", type=_parse_injection,
+        action="append", default=[],
+        help="repair a component at a given time (same spec as --fail-at; "
+             "repeatable)")
+
+    chaos = subparsers.add_parser(
+        "chaos", help="run a seeded chaos campaign with the protocol "
+                      "invariant auditor; shrink and export any failures")
+    _add_network_arguments(chaos)
+    chaos.set_defaults(rows=4, cols=4)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--campaign-size", type=int, default=25,
+                       help="number of schedules to run (default 25)")
+    chaos.add_argument("--profiles", type=_parse_profiles, default=None,
+                       help="comma-separated chaos profiles "
+                            "(default: all of them, rotated)")
+    chaos.add_argument("--backups", type=int, default=2)
+    chaos.add_argument("--mux", type=int, default=1)
+    chaos.add_argument("--connections", type=int, default=6,
+                       help="connections to establish (default 6)")
+    chaos.add_argument("--plant-bug", action="store_true",
+                       help="enable the planted spare-pool double-release "
+                            "(validates the auditor + shrinker pipeline)")
+    chaos.add_argument("--artifact-dir", metavar="DIR", default=".",
+                       help="where shrunk failure artifacts are written "
+                            "(default: current directory)")
+    chaos.add_argument("--max-artifacts", type=int, default=5,
+                       help="shrink and export at most this many failing "
+                            "runs (default 5)")
+    chaos.add_argument("--replay", metavar="ARTIFACT", default=None,
+                       help="re-execute a saved repro.chaos/1 artifact "
+                            "instead of running a campaign")
 
     # Observability and execution flags are global: every subcommand
     # exports the same way (the whole run records into one session
@@ -232,6 +337,12 @@ def _run_stats(args: argparse.Namespace) -> str:
     simulation = ProtocolSimulation(network, ProtocolConfig(), seed=0,
                                     trace=True)
     simulation.inject_scenario(FailureScenario.of_links(links), at=1.0)
+    # Explicit timed injections on top of (or instead of, with
+    # --failures 0) the default scenario.
+    for time, component in args.fail_at:
+        simulation.fail(component, at=time)
+    for time, component in args.repair_at:
+        simulation.repair(component, at=time)
     simulation.run(until=args.horizon)
     recovered = simulation.metrics.recovered_count()
     worst = simulation.metrics.max_service_disruption()
@@ -249,7 +360,117 @@ def _run_stats(args: argparse.Namespace) -> str:
     )
 
 
-def _run_command(args: argparse.Namespace) -> str:
+def _format_violations(violations) -> list[str]:
+    return [
+        f"  [{v.time:10.3f}] {v.invariant} @ {v.subject}: {v.detail}"
+        for v in violations
+    ]
+
+
+def _run_chaos(args: argparse.Namespace) -> tuple[str, int]:
+    """Chaos campaign / artifact replay; exit code 1 on any violation."""
+    import os
+
+    from repro.chaos import (
+        ChaosEnvironment,
+        artifact_payload,
+        build_campaign,
+        campaign_summary,
+        load_artifact,
+        replay_artifact,
+        run_campaign,
+        shrink_failing_run,
+        write_artifact,
+    )
+    from repro.protocol import ProtocolConfig
+
+    if args.replay:
+        payload = load_artifact(args.replay)
+        result = replay_artifact(payload)
+        lines = [
+            f"repro chaos — replay of {args.replay} "
+            f"(profile {result.schedule.profile}, "
+            f"seed {result.schedule.seed})",
+            f"events: {len(result.schedule.events)}; "
+            f"final time: {result.final_time:g}; "
+            f"drained: {result.drained}",
+        ]
+        if result.violations:
+            lines.append(f"violations reproduced: {len(result.violations)}")
+            lines.extend(_format_violations(result.violations))
+        else:
+            lines.append("no violations: the artifact did not reproduce")
+        return "\n".join(lines), (1 if result.violations else 0)
+
+    environment = ChaosEnvironment(
+        topology=args.topology,
+        rows=args.rows,
+        cols=args.cols,
+        capacity=args.capacity if args.capacity is not None else 200.0,
+        num_backups=args.backups,
+        mux_degree=args.mux,
+        connections=args.connections,
+    )
+    config = ProtocolConfig(debug_double_release=args.plant_bug)
+    network = environment.build()
+    profiles = args.profiles
+    schedules = (
+        build_campaign(args.seed, args.campaign_size, network, config,
+                       profiles=profiles)
+        if profiles is not None
+        else build_campaign(args.seed, args.campaign_size, network, config)
+    )
+    results = run_campaign(schedules, network, config, workers=args.workers)
+    summary = campaign_summary(results)
+    profile_list = ", ".join(profiles) if profiles is not None else "all"
+    lines = [
+        f"repro chaos — {environment.rows}x{environment.cols} "
+        f"{environment.topology}, {environment.connections} connections, "
+        f"seed {args.seed}, {summary['runs']} schedules "
+        f"(profiles: {profile_list})",
+        f"recovered: {summary['recovered']}; "
+        f"unrecoverable: {summary['unrecoverable']}; "
+        f"rejoins: {summary['rejoins']}; "
+        f"undrained: {summary['undrained']}",
+    ]
+    failing = [
+        (index, result)
+        for index, result in enumerate(results)
+        if result.violations
+    ]
+    if not failing:
+        lines.append("invariants: all runs clean")
+        return "\n".join(lines), 0
+    lines.append(
+        f"invariants VIOLATED in {len(failing)}/{summary['runs']} runs: "
+        + ", ".join(
+            f"{name} x{count}"
+            for name, count in sorted(summary["violations"].items())
+        )
+    )
+    os.makedirs(args.artifact_dir, exist_ok=True)
+    for index, result in failing[: args.max_artifacts]:
+        shrunk = shrink_failing_run(result, network, config)
+        path = os.path.join(
+            args.artifact_dir, f"chaos-seed{args.seed}-run{index}.json"
+        )
+        write_artifact(
+            path, artifact_payload(shrunk, config, environment)
+        )
+        lines.append(
+            f"run {index} ({result.schedule.profile}): shrunk "
+            f"{shrunk.original_events} -> {shrunk.minimal_events} events "
+            f"in {shrunk.runs} replays -> {path}"
+        )
+        lines.extend(_format_violations(shrunk.violations))
+    skipped = len(failing) - min(len(failing), args.max_artifacts)
+    if skipped:
+        lines.append(f"({skipped} further failing runs not shrunk; "
+                     f"raise --max-artifacts to export them)")
+    return "\n".join(lines), 1
+
+
+def _run_command(args: argparse.Namespace) -> "str | tuple[str, int]":
     config = _config(args) if hasattr(args, "topology") else None
     if args.command == "figure9":
         return run_figure9(config, num_backups=args.backups,
@@ -310,6 +531,8 @@ def _run_command(args: argparse.Namespace) -> str:
         )
     if args.command == "stats":
         return _run_stats(args)
+    if args.command == "chaos":
+        return _run_chaos(args)
     if args.command == "all":
         sections = []
         for backups in (1, 2):
@@ -351,12 +574,17 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     sink = TraceLog(enabled=True) if args.trace_out else None
     with obs_session(registry, sink):
         output = _run_command(args)
+    # Commands that gate CI (chaos) return (text, exit_code); the rest
+    # return plain text and exit 0.
+    code = 0
+    if isinstance(output, tuple):
+        output, code = output
     print(output)
     if args.metrics_out:
         write_metrics(registry, args.metrics_out, command=args.command)
     if sink is not None:
         write_trace(sink, args.trace_out)
-    return 0
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

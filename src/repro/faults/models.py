@@ -16,6 +16,26 @@ from repro.network.components import LinkId, NodeId
 from repro.network.topology import Topology
 
 
+def component_to_json(component) -> dict:
+    """JSON-safe encoding of a failed component (node or simplex link).
+
+    Used by replayable chaos artifacts; round-trips through
+    :func:`component_from_json`.
+    """
+    if isinstance(component, LinkId):
+        return {"kind": "link", "src": component.src, "dst": component.dst}
+    return {"kind": "node", "id": component}
+
+
+def component_from_json(data: dict):
+    """Inverse of :func:`component_to_json`."""
+    if data["kind"] == "link":
+        return LinkId(data["src"], data["dst"])
+    if data["kind"] == "node":
+        return data["id"]
+    raise ValueError(f"unknown component kind {data.get('kind')!r}")
+
+
 @dataclass(frozen=True)
 class FailureScenario:
     """A set of simultaneously crashed components."""

@@ -248,6 +248,29 @@ class ReservationLedger:
             default=0.0,
         )
 
+    def audit(self) -> list[str]:
+        """Conservation check over every link: both pools non-negative and
+        ``primary + spare <= capacity`` (within the admission tolerance).
+        Returns one human-readable problem string per violating link —
+        empty means the ledger is internally consistent.  Used by the
+        protocol invariant auditor; cheap enough to run per sweep."""
+        problems: list[str] = []
+        for link, entry in self._links.items():
+            if entry.primary < -_EPSILON:
+                problems.append(
+                    f"link {link}: negative primary pool {entry.primary:g}"
+                )
+            if entry.spare < -_EPSILON:
+                problems.append(
+                    f"link {link}: negative spare pool {entry.spare:g}"
+                )
+            if entry.reserved > entry.capacity + _EPSILON:
+                problems.append(
+                    f"link {link}: reserved {entry.reserved:g} exceeds "
+                    f"capacity {entry.capacity:g}"
+                )
+        return problems
+
     def snapshot_spares(self) -> dict[LinkId, float]:
         """Copy of every link's current spare reservation.
 

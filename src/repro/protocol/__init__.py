@@ -33,6 +33,7 @@ from repro.protocol.establishment import (
     DistributedEstablishment,
     EstablishmentOutcome,
 )
+from repro.protocol.invariants import InvariantAuditor, InvariantViolation
 from repro.protocol.runtime import (
     ProtocolMetrics,
     ProtocolSimulation,
@@ -60,6 +61,8 @@ __all__ = [
     "RCCParams",
     "SwitchingScheme",
     "LocalChannelState",
+    "InvariantAuditor",
+    "InvariantViolation",
     "Direction",
     "FailureReport",
     "ActivationMessage",

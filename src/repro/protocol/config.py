@@ -110,6 +110,13 @@ class ProtocolConfig:
     heartbeat_detection: bool = False
     heartbeat_period: float = 2.0
     heartbeat_miss_threshold: int = 3
+    #: Planted bug for validating the invariant auditor (never enable
+    #: outside tests/chaos validation): releasing an activation draw also
+    #: credits the bandwidth back into the runtime's spare pool, i.e. a
+    #: spare-pool double-release.  The auditor's reservation-conservation
+    #: check must catch it, and the chaos shrinker must reduce a failing
+    #: campaign schedule to a minimal reproducing event sequence.
+    debug_double_release: bool = False
 
     def __post_init__(self) -> None:
         check_non_negative(self.detection_delay, "detection_delay")

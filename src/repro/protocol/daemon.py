@@ -168,6 +168,28 @@ class BCPDaemon:
         if timer is not None:
             timer.cancel()
 
+    def on_crashed(self) -> None:
+        """The node died: disarm every pending timer.
+
+        The ``_alive()`` guards already make post-crash callbacks no-ops,
+        but the armed events would still fire (and keep the event heap
+        from draining); a crashed node holds no soft state, so its rejoin
+        and probe timers are cancelled outright.
+        """
+        for timer in self._rejoin_timers.values():
+            timer.cancel()
+        for timer in self._probe_timers.values():
+            timer.stop()
+
+    def on_repaired(self) -> None:
+        """The node came back: re-arm soft-state expiry for channels that
+        were unhealthy at crash time, so they either rejoin or tear down
+        instead of lingering in U forever (their timers were cancelled by
+        :meth:`on_crashed`)."""
+        for record in self.records.values():
+            if record.state is LocalChannelState.UNHEALTHY:
+                self._start_rejoin_timer(record)
+
     def _rejoin_expired(self, channel_id: int) -> None:
         if not self._alive():
             return

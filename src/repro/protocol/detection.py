@@ -106,3 +106,18 @@ class HeartbeatService:
         detector = self.detectors.get(link)
         if detector is not None:
             detector.on_heartbeat()
+
+    def on_node_failed(self, node) -> None:
+        """Disarm the dead node's own detectors (a crashed node detects
+        nothing); detectors *at its neighbours* stay armed — their missed
+        beats are exactly how the crash is discovered."""
+        for link, detector in self.detectors.items():
+            if link.dst == node:
+                detector._timer.cancel()
+
+    def on_node_repaired(self, node) -> None:
+        """Re-arm the repaired node's detectors for its incoming links."""
+        for link, detector in self.detectors.items():
+            if link.dst == node:
+                detector._declared = False
+                detector._timer.start()

@@ -1,0 +1,338 @@
+"""Protocol invariant auditing over a live :class:`ProtocolSimulation`.
+
+The BCP correctness argument rests on a handful of properties that no
+single unit test pins down globally: spare pools are conserved, every
+activation draw is eventually released, RCC sequence numbers stay
+monotonic and duplicate-free, no control message is delivered over a dead
+link, each connection carries at most one active channel, and soft state
+(unhealthy channels) expires in bounded time.  The
+:class:`InvariantAuditor` attaches to a running simulation as a pure
+observer — engine event hook plus per-link RCC delivery hooks — and
+checks these properties continuously (cheap sweeps after every event the
+chaos engine injects) and exhaustively at quiescence.
+
+Violations are collected, never raised: a chaos campaign wants the full
+list for its artifact, and the shrinker wants to re-run schedules and
+compare violation signatures.  State-machine legality is the exception —
+:meth:`~repro.protocol.states.LocalChannelRecord.transition` already
+raises :class:`~repro.protocol.states.IllegalTransitionError` on any move
+outside Fig. 4, so the chaos runner catches that exception and converts
+it into a violation rather than re-deriving legality here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.components import LinkId
+from repro.protocol.states import LocalChannelState
+
+#: Bandwidth slack for conservation comparisons, matching the ledger's
+#: admission tolerance.
+_EPSILON = 1e-9
+
+#: Collection cap: a badly broken run violates the same invariant after
+#: every event; past this many records the rest add nothing.
+MAX_VIOLATIONS = 200
+
+
+@dataclass(frozen=True, slots=True)
+class InvariantViolation:
+    """One observed breach of a protocol invariant."""
+
+    #: Simulation time at which the check failed.
+    time: float
+    #: Stable invariant name (``reservation-conservation``,
+    #: ``rcc-monotonicity``, ``dead-link-delivery``, ``draw-leak``,
+    #: ``multiple-active``, ``endpoint-disagreement``, ``stuck-soft-state``,
+    #: ``illegal-transition``, ``quiescence-timeout``).
+    invariant: str
+    #: The component/channel/connection the breach concerns (stringified).
+    subject: str
+    #: Human-readable explanation with the observed values.
+    detail: str
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (chaos artifacts)."""
+        return {
+            "time": self.time,
+            "invariant": self.invariant,
+            "subject": self.subject,
+            "detail": self.detail,
+        }
+
+
+class InvariantAuditor:
+    """Continuous invariant checks over one :class:`ProtocolSimulation`.
+
+    Usage::
+
+        auditor = InvariantAuditor(simulation)
+        auditor.attach()
+        ... run, injecting faults; call auditor.check_event() at will ...
+        auditor.check_quiescent(drained=simulation.engine.pending == 0)
+        auditor.detach()
+        if auditor.violations: ...
+
+    The auditor is strictly read-only with respect to the simulation: it
+    never schedules events, never mutates daemon or RCC state, and its
+    hooks tolerate being called at any point of the run.
+    """
+
+    def __init__(self, simulation) -> None:
+        self.simulation = simulation
+        self.violations: list[InvariantViolation] = []
+        #: Spare pools as sized at establishment time — the conservation
+        #: baseline.  The runtime never legitimately mutates
+        #: ``_spare_pools`` (draws are tracked separately), so any drift
+        #: is a double-release or phantom credit.
+        self._baseline_spares: dict[LinkId, float] = {}
+        #: Highest frame seq delivered per link, and every seq delivered,
+        #: for the monotonicity / at-most-once checks.
+        self._delivered_seqs: dict[LinkId, set[int]] = {}
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        """Snapshot the conservation baseline and install the RCC hooks."""
+        if self._attached:
+            return
+        self._attached = True
+        self._baseline_spares = dict(self.simulation._spare_pools)
+        for rcc in self.simulation._rcc.values():
+            rcc.on_frame_delivered = self._chain(
+                rcc.on_frame_delivered, self._on_frame_delivered
+            )
+
+    def detach(self) -> None:
+        """Remove the RCC hooks (baseline and findings are kept)."""
+        if not self._attached:
+            return
+        self._attached = False
+        for rcc in self.simulation._rcc.values():
+            rcc.on_frame_delivered = None
+
+    @staticmethod
+    def _chain(existing, added):
+        if existing is None:
+            return added
+
+        def chained(rcc, frame):
+            existing(rcc, frame)
+            added(rcc, frame)
+
+        return chained
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record(self, invariant: str, subject, detail: str) -> None:
+        """Append one violation (capped at :data:`MAX_VIOLATIONS`)."""
+        if len(self.violations) >= MAX_VIOLATIONS:
+            return
+        self.violations.append(
+            InvariantViolation(
+                time=self.simulation.engine.now,
+                invariant=invariant,
+                subject=str(subject),
+                detail=detail,
+            )
+        )
+
+    @property
+    def ok(self) -> bool:
+        """Whether no invariant has been violated so far."""
+        return not self.violations
+
+    # ------------------------------------------------------------------
+    # RCC delivery hook
+    # ------------------------------------------------------------------
+    def _on_frame_delivered(self, rcc, frame) -> None:
+        link = rcc.link
+        # No delivery over a dead link: _arrive re-checks link health on
+        # arrival, so reaching this hook with the link down means the
+        # runtime's health model and the transport disagree.
+        if not self.simulation.link_up(link):
+            self.record(
+                "dead-link-delivery", link,
+                f"frame seq {frame.seq} delivered while {link} is down",
+            )
+        # Sequence sanity: a delivered seq must have been assigned by the
+        # sender (below its next_seq counter) and never delivered before
+        # (the dedup in _arrive must catch retransmitted duplicates).
+        if frame.seq >= rcc._next_seq:
+            self.record(
+                "rcc-monotonicity", link,
+                f"delivered seq {frame.seq} but sender has only assigned "
+                f"up to {rcc._next_seq - 1}",
+            )
+        delivered = self._delivered_seqs.setdefault(link, set())
+        if frame.seq in delivered:
+            self.record(
+                "rcc-monotonicity", link,
+                f"frame seq {frame.seq} delivered to the daemon twice",
+            )
+        delivered.add(frame.seq)
+
+    # ------------------------------------------------------------------
+    # sweeps
+    # ------------------------------------------------------------------
+    def check_event(self) -> None:
+        """Cheap sweep, safe after every injected fault/repair."""
+        self._check_conservation()
+        ledger = self.simulation.network.ledger
+        for problem in ledger.audit():
+            self.record("reservation-conservation", "ledger", problem)
+
+    def check_quiescent(self, drained: bool = True) -> None:
+        """Full sweep once the run has settled.
+
+        ``drained`` says the event heap truly emptied; the transient-
+        sensitive checks (draw leaks, at-most-one-active, stuck soft
+        state) are only sound then — activations legitimately race
+        failure reports mid-flight.
+        """
+        self.check_event()
+        if not drained:
+            return
+        self._check_draw_leaks()
+        self._check_single_active()
+        self._check_soft_state_expired()
+
+    # -- reservation conservation ----------------------------------------
+    def _check_conservation(self) -> None:
+        simulation = self.simulation
+        pools = simulation._spare_pools
+        for link, baseline in self._baseline_spares.items():
+            current = pools.get(link, 0.0)
+            if abs(current - baseline) > _EPSILON:
+                self.record(
+                    "reservation-conservation", link,
+                    f"spare pool drifted from {baseline:g} to {current:g} "
+                    f"(pools are sized once at establishment; draws are "
+                    f"tracked separately)",
+                )
+        for link in pools:
+            if link not in self._baseline_spares:
+                self.record(
+                    "reservation-conservation", link,
+                    f"spare pool appeared for {link} after establishment",
+                )
+        for link, draws in simulation._draws.items():
+            drawn = sum(draws.values())
+            if drawn < -_EPSILON:
+                self.record(
+                    "reservation-conservation", link,
+                    f"negative total draw {drawn:g}",
+                )
+            pool = pools.get(link, 0.0)
+            if drawn > pool + _EPSILON:
+                self.record(
+                    "reservation-conservation", link,
+                    f"draws {drawn:g} exceed the spare pool {pool:g}",
+                )
+
+    # -- draw leaks -------------------------------------------------------
+    def _check_draw_leaks(self) -> None:
+        """Every outstanding draw must belong to a channel that is still
+        established at the draw's owning node (the link's source).  A draw
+        surviving the channel's teardown there is leaked bandwidth — the
+        exact failure mode soft-state expiry (Section 4.4) exists to
+        prevent."""
+        simulation = self.simulation
+        for link, draws in simulation._draws.items():
+            owner = link.src
+            if not simulation.node_up(owner):
+                continue  # a dead node's books are settled on repair/rejoin
+            daemon = simulation.daemons.get(owner)
+            for channel_id, amount in draws.items():
+                record = None if daemon is None else daemon.records.get(
+                    channel_id
+                )
+                if record is None or record.state is (
+                    LocalChannelState.NON_EXISTENT
+                ):
+                    self.record(
+                        "draw-leak", link,
+                        f"channel {channel_id} still draws {amount:g} on "
+                        f"{link} but is torn down at node {owner!r}",
+                    )
+
+    # -- at most one active channel per connection ------------------------
+    def _check_single_active(self) -> None:
+        """At quiescence each alive end-node must consider exactly one
+        channel current, and must not host two PRIMARY records for the
+        same connection (a transient that is legal mid-activation but a
+        switching bug if it persists)."""
+        simulation = self.simulation
+        for node, daemon in simulation.daemons.items():
+            if not simulation.node_up(node):
+                continue
+            primaries: dict[int, list[int]] = {}
+            for channel_id, record in daemon.records.items():
+                if not record.is_endpoint:
+                    continue
+                if record.state is LocalChannelState.PRIMARY:
+                    primaries.setdefault(record.connection_id, []).append(
+                        channel_id
+                    )
+            for connection_id, channel_ids in primaries.items():
+                if len(channel_ids) > 1:
+                    self.record(
+                        "multiple-active", f"connection {connection_id}",
+                        f"node {node!r} holds {len(channel_ids)} PRIMARY "
+                        f"channels {sorted(channel_ids)} for one connection",
+                    )
+        self._check_endpoint_agreement()
+
+    def _check_endpoint_agreement(self) -> None:
+        """Both alive end-nodes of a connection must agree on the current
+        channel once the network settles — the serial-number switching
+        rule's whole purpose (Section 4.2)."""
+        simulation = self.simulation
+        for connection in simulation.network.connections():
+            src, dst = connection.source, connection.destination
+            if not (simulation.node_up(src) and simulation.node_up(dst)):
+                continue
+            view_src = simulation.daemons[src].views.get(
+                connection.connection_id
+            )
+            view_dst = simulation.daemons[dst].views.get(
+                connection.connection_id
+            )
+            if view_src is None or view_dst is None:
+                continue
+            # Skip connections that never finished recovering (out of
+            # backups, or recovery still marked in progress): there is no
+            # agreed current channel to check.
+            if view_src.current_channel in view_src.unhealthy:
+                continue
+            if view_dst.current_channel in view_dst.unhealthy:
+                continue
+            if view_src.current_channel != view_dst.current_channel:
+                self.record(
+                    "endpoint-disagreement",
+                    f"connection {connection.connection_id}",
+                    f"source {src!r} carries channel "
+                    f"{view_src.current_channel} but destination {dst!r} "
+                    f"carries {view_dst.current_channel}",
+                )
+
+    # -- bounded soft state -----------------------------------------------
+    def _check_soft_state_expired(self) -> None:
+        """With the event heap drained, no alive node may still hold an
+        UNHEALTHY record: its rejoin timer either healed it (B) or expired
+        it (N).  An UNHEALTHY survivor means a timer was lost."""
+        simulation = self.simulation
+        for node, daemon in simulation.daemons.items():
+            if not simulation.node_up(node):
+                continue
+            for channel_id, record in daemon.records.items():
+                if record.state is LocalChannelState.UNHEALTHY:
+                    self.record(
+                        "stuck-soft-state", f"channel {channel_id}",
+                        f"still UNHEALTHY at node {node!r} after the run "
+                        f"drained; its rejoin timer never resolved it",
+                    )

@@ -100,6 +100,16 @@ class RCCLink:
         #: runtime uses it to detect dead *outgoing* links, which missed
         #: incoming beats cannot reveal).
         self.on_give_up: "Callable[[LinkId], None] | None" = None
+        #: Per-link frame-loss override; ``None`` falls back to the shared
+        #: ``config.frame_loss_probability``.  Lets chaos profiles and
+        #: tests make *one* link lossy without touching the others.
+        self.loss_probability: "float | None" = None
+        #: Delivery observer: called as ``observer(rcc, frame)`` just
+        #: before a frame's messages are handed to the daemon (after the
+        #: link-health and duplicate checks).  The invariant auditor hangs
+        #: its sequence-number and dead-link-delivery checks here.
+        self.on_frame_delivered: "Callable[[RCCLink, RCCFrame], None] | None" \
+            = None
 
     # ------------------------------------------------------------------
     # sending
@@ -150,9 +160,13 @@ class RCCLink:
     def _launch(self, frame: RCCFrame) -> None:
         self.stats.frames_sent += 1
         self._m_frames.inc()
+        loss = (
+            self.config.frame_loss_probability
+            if self.loss_probability is None
+            else self.loss_probability
+        )
         if not self._link_up(self.link) or (
-            self.config.frame_loss_probability > 0
-            and self._rng.random() < self.config.frame_loss_probability
+            loss > 0 and self._rng.random() < loss
         ):
             self.stats.frames_lost += 1
             self._m_lost.inc()
@@ -189,6 +203,23 @@ class RCCLink:
         if pending is not None and pending.timer is not None:
             pending.timer.cancel()
 
+    def halt(self) -> None:
+        """Stop all sender-side activity: a crashed source node transmits
+        nothing, so its queued messages, unacked frames, and pending
+        retransmit/transmit timers are dropped on the spot (instead of
+        ticking on pointlessly until give-up)."""
+        for pending in self._pending.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+        self._pending.clear()
+        self._frame_times.clear()
+        self._queue.clear()
+        self._pending_acks.clear()
+        self._m_queue_depth.set(0)
+        if self._tx_scheduled is not None:
+            self._tx_scheduled.cancel()
+            self._tx_scheduled = None
+
     # ------------------------------------------------------------------
     # receiving (runs at the *destination* node of the link)
     # ------------------------------------------------------------------
@@ -212,6 +243,8 @@ class RCCLink:
             self.stats.max_message_delay = max(
                 self.stats.max_message_delay, self.engine.now - enqueued_at
             )
+        if self.on_frame_delivered is not None:
+            self.on_frame_delivered(self, frame)
         for message in frame.messages:
             self.stats.messages_delivered += 1
             self._deliver(message)

@@ -306,16 +306,17 @@ class ProtocolSimulation:
         #: Links already declared failed via RCC give-up (one declaration
         #: per outage; cleared on repair).
         self._suspected_links: set[LinkId] = set()
+        # Sender-side liveness is always on: an RCC frame exhausting its
+        # retransmission budget means the link is not delivering, and the
+        # owning daemon must treat the link as failed (same path as
+        # heartbeat detection) rather than silently dropping the messages.
+        for rcc in self._rcc.values():
+            rcc.on_give_up = self._on_rcc_give_up
         if self.config.heartbeat_detection:
             from repro.protocol.detection import HeartbeatService
 
             self.heartbeats = HeartbeatService(self)
             self.heartbeats.start()
-            # Sender-side liveness: an RCC giving up on a link tells its
-            # source node the link is dead (missed incoming beats can only
-            # inform the destination side).
-            for link, rcc in self._rcc.items():
-                rcc.on_give_up = self._on_rcc_give_up
 
     def _on_rcc_give_up(self, link: LinkId) -> None:
         """Sender-side liveness verdict; note that an ack-path failure is
@@ -522,7 +523,14 @@ class ProtocolSimulation:
         """Return a channel's draw on ``link`` to the pool."""
         draws_here = self._draws.get(link)
         if draws_here is not None:
-            draws_here.pop(channel_id, None)
+            released = draws_here.pop(channel_id, None)
+            if released is not None and self.config.debug_double_release:
+                # Planted bug (see ProtocolConfig.debug_double_release):
+                # the draw is returned implicitly by leaving the pool
+                # untouched, so also crediting the pool releases twice.
+                self._spare_pools[link] = (
+                    self._spare_pools.get(link, 0.0) + released
+                )
         drawn_links = self._drawn_links.get(channel_id)
         if drawn_links is not None:
             drawn_links.discard(link)
@@ -655,6 +663,11 @@ class ProtocolSimulation:
         else:
             for link in self.network.topology.incident_links(component):
                 self._suspected_links.discard(link)
+            daemon = self.daemons.get(component)
+            if daemon is not None:
+                daemon.on_repaired()
+            if self.heartbeats is not None:
+                self.heartbeats.on_node_repaired(component)
         self.trace.record(self.engine.now, "repair", component,
                           "component repaired")
 
@@ -671,6 +684,18 @@ class ProtocolSimulation:
         self.failed_components.add(component)
         now = self.engine.now
         self.trace.record(now, "failure", component, "component crashed")
+        if not isinstance(component, LinkId):
+            # A dead node holds no timers and transmits nothing: disarm its
+            # rejoin/probe timers and halt every outgoing RCC so events
+            # armed before the crash cannot fire callbacks after it.
+            daemon = self.daemons.get(component)
+            if daemon is not None:
+                daemon.on_crashed()
+            for link in self.network.topology.incident_links(component):
+                if link.src == component:
+                    self._rcc[link].halt()
+            if self.heartbeats is not None:
+                self.heartbeats.on_node_failed(component)
         # Metrics: which connections lost their primary to this component?
         for channel in self.network.registry.on_component(component):
             if channel.role is not ChannelRole.PRIMARY:

@@ -73,6 +73,10 @@ class EventEngine:
         self._seq = 0
         self._heap: list[_ScheduledEvent] = []
         self._events_processed = 0
+        #: Post-fire observers: called as ``observer(time, category)`` after
+        #: every fired event.  Kept in a plain list checked for truthiness
+        #: per event, so the hook is free when nobody subscribed.
+        self._observers: list[Callable[[float, str], None]] = []
         #: Live count of non-cancelled events in the calendar, maintained
         #: on push/fire/cancel so :attr:`pending` is O(1).
         self._live = 0
@@ -102,6 +106,20 @@ class EventEngine:
         """Number of non-cancelled events still in the calendar (cancelled
         tombstones awaiting their pop are excluded).  O(1)."""
         return self._live
+
+    # ------------------------------------------------------------------
+    def subscribe(self, observer: Callable[[float, str], None]) -> None:
+        """Register ``observer(time, category)`` to run after every fired
+        event.  Observers are how auditors watch a run without patching
+        callbacks; they must not schedule or cancel events."""
+        self._observers.append(observer)
+
+    def unsubscribe(self, observer: Callable[[float, str], None]) -> None:
+        """Remove a previously subscribed observer (no-op if absent)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     def schedule(
@@ -147,6 +165,9 @@ class EventEngine:
         self._c_fired.inc()
         if not self._timed:
             event.callback()
+            if self._observers:
+                for observer in self._observers:
+                    observer(event.time, event.category)
             return
         timer = self._category_timers.get(event.category)
         if timer is None:
@@ -157,6 +178,9 @@ class EventEngine:
             event.callback()
         finally:
             timer.record(perf_counter() - start)
+        if self._observers:
+            for observer in self._observers:
+                observer(event.time, event.category)
 
     def step(self) -> bool:
         """Fire the next pending event; returns ``False`` when idle."""

@@ -56,13 +56,36 @@ class TraceLog:
 
     enabled: bool = True
     events: list[TraceEvent] = field(default_factory=list)
+    #: Live observers, notified of every recorded event *even when the log
+    #: itself is disabled* — reactive consumers (the chaos engine's
+    #: trace-triggered injections, the invariant auditor) need the stream,
+    #: not the storage.
+    listeners: list = field(default_factory=list, repr=False)
 
     def record(self, time: float, category: str, node: object,
                description: str) -> None:
-        """Append an event (no-op when disabled)."""
+        """Append an event (no-op when disabled; listeners always fire)."""
+        if self.listeners:
+            event = TraceEvent(time, category, node, description)
+            for listener in tuple(self.listeners):
+                listener(event)
+            if self.enabled:
+                self.events.append(event)
+            return
         if not self.enabled:
             return
         self.events.append(TraceEvent(time, category, node, description))
+
+    def subscribe(self, listener) -> None:
+        """Register ``listener(event)`` to run on every recorded event."""
+        self.listeners.append(listener)
+
+    def unsubscribe(self, listener) -> None:
+        """Remove a previously subscribed listener (no-op if absent)."""
+        try:
+            self.listeners.remove(listener)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     def filter(

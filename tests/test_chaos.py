@@ -1,0 +1,271 @@
+"""Tests of the chaos campaign engine (repro.chaos)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    DEFAULT_PROFILES,
+    FAIL,
+    PROFILES,
+    REPAIR,
+    SCHEMA,
+    ChaosEnvironment,
+    ChaosEvent,
+    ChaosSchedule,
+    ChaosTrigger,
+    artifact_payload,
+    build_campaign,
+    build_schedule,
+    campaign_summary,
+    load_artifact,
+    replay_artifact,
+    run_campaign,
+    run_schedule,
+    shrink_failing_run,
+    violation_signature,
+    write_artifact,
+)
+from repro.chaos.shrink import _ddmin
+from repro.network.components import LinkId
+from repro.protocol import ProtocolConfig
+
+
+ENVIRONMENT = ChaosEnvironment()
+
+
+@pytest.fixture(scope="module")
+def chaos_network():
+    return ENVIRONMENT.build()
+
+
+class TestScheduleCodec:
+    def test_event_roundtrip(self):
+        event = ChaosEvent(time=3.5, action=FAIL, component=LinkId(0, 1))
+        assert ChaosEvent.from_dict(event.to_dict()) == event
+        node_event = ChaosEvent(time=9.0, action=REPAIR, component=7)
+        assert ChaosEvent.from_dict(node_event.to_dict()) == node_event
+
+    def test_bad_action_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosEvent(time=1.0, action="explode", component=3)
+
+    def test_schedule_json_roundtrip(self):
+        schedule = ChaosSchedule(
+            seed=42,
+            profile="flapping",
+            horizon=120.0,
+            events=(
+                ChaosEvent(time=5.0, action=FAIL, component=LinkId(0, 1)),
+                ChaosEvent(time=15.0, action=REPAIR, component=LinkId(0, 1)),
+            ),
+            triggers=(
+                ChaosTrigger(
+                    category="activation",
+                    delay=0.5,
+                    action=FAIL,
+                    component=LinkId(1, 2),
+                ),
+            ),
+        )
+        assert ChaosSchedule.from_json(schedule.to_json()) == schedule
+
+    def test_with_events_clears_triggers(self):
+        schedule = ChaosSchedule(
+            seed=1,
+            profile="failure_during_recovery",
+            horizon=100.0,
+            triggers=(
+                ChaosTrigger(
+                    category="activation",
+                    delay=0.5,
+                    action=FAIL,
+                    component=LinkId(1, 2),
+                ),
+            ),
+        )
+        flattened = schedule.with_events(
+            [ChaosEvent(time=2.0, action=FAIL, component=LinkId(0, 1))]
+        )
+        assert flattened.triggers == ()
+        assert len(flattened.events) == 1
+
+    def test_environment_roundtrip(self):
+        assert ChaosEnvironment.from_dict(ENVIRONMENT.to_dict()) == ENVIRONMENT
+
+
+class TestProfiles:
+    def test_all_profiles_build_valid_schedules(self, chaos_network):
+        config = ProtocolConfig()
+        for name in DEFAULT_PROFILES:
+            schedule = build_schedule(name, 123, chaos_network, config)
+            assert schedule.profile == name
+            assert schedule.events or schedule.triggers
+            times = [event.time for event in schedule.events]
+            assert times == sorted(times)
+            assert schedule.horizon > (times[-1] if times else 0.0)
+
+    def test_profile_generation_is_seed_deterministic(self, chaos_network):
+        config = ProtocolConfig()
+        first = build_schedule("regional", 99, chaos_network, config)
+        second = build_schedule("regional", 99, chaos_network, config)
+        assert first == second
+        different = build_schedule("regional", 100, chaos_network, config)
+        assert different != first
+
+    def test_failure_during_recovery_has_trigger(self, chaos_network):
+        schedule = build_schedule(
+            "failure_during_recovery", 5, chaos_network, ProtocolConfig()
+        )
+        assert schedule.triggers
+        assert schedule.triggers[0].category == "activation"
+
+    def test_unknown_profile_rejected(self, chaos_network):
+        with pytest.raises(ValueError):
+            build_schedule("nonsense", 0, chaos_network, ProtocolConfig())
+
+
+class TestRunSchedule:
+    def test_clean_run_has_no_violations(self, chaos_network):
+        schedule = build_schedule(
+            "flapping", 3, chaos_network, ProtocolConfig()
+        )
+        result = run_schedule(schedule, chaos_network)
+        assert result.ok
+        assert result.drained
+        assert result.final_time <= schedule.horizon
+
+    def test_trigger_firing_joins_materialized_stream(self, chaos_network):
+        schedule = build_schedule(
+            "failure_during_recovery", 5, chaos_network, ProtocolConfig()
+        )
+        result = run_schedule(schedule, chaos_network)
+        # The static primary failure plus the resolved trigger firing.
+        assert len(result.materialized) > len(schedule.events)
+        times = [event.time for event in result.materialized]
+        assert times == sorted(times)
+
+    def test_too_short_horizon_flags_quiescence_timeout(self, chaos_network):
+        schedule = ChaosSchedule(
+            seed=0,
+            profile="manual",
+            horizon=6.0,
+            events=(
+                ChaosEvent(
+                    time=5.0,
+                    action=FAIL,
+                    component=LinkId(0, 1),
+                ),
+            ),
+        )
+        result = run_schedule(schedule, chaos_network)
+        assert not result.drained
+        assert "quiescence-timeout" in violation_signature(result.violations)
+
+    def test_result_as_dict_is_json_serialisable(self, chaos_network):
+        schedule = build_schedule(
+            "repair_race", 11, chaos_network, ProtocolConfig()
+        )
+        result = run_schedule(schedule, chaos_network)
+        json.dumps(result.as_dict())
+
+
+class TestCampaigns:
+    def test_campaign_build_is_deterministic(self, chaos_network):
+        first = build_campaign(7, 6, chaos_network)
+        second = build_campaign(7, 6, chaos_network)
+        assert first == second
+        assert build_campaign(8, 6, chaos_network) != first
+
+    def test_campaign_rotates_profiles(self, chaos_network):
+        schedules = build_campaign(0, len(DEFAULT_PROFILES), chaos_network)
+        assert [s.profile for s in schedules] == list(DEFAULT_PROFILES)
+
+    def test_campaign_bit_identical_across_worker_counts(self, chaos_network):
+        """Acceptance criterion: a seeded campaign replays bit-identically
+        whether run serially or sharded over four workers."""
+        schedules = build_campaign(7, 8, chaos_network)
+        serial = run_campaign(schedules, chaos_network, workers=1)
+        sharded = run_campaign(schedules, chaos_network, workers=4)
+        assert serial == sharded
+
+    def test_healthy_protocol_passes_clean_campaign(self, chaos_network):
+        schedules = build_campaign(0, 6, chaos_network)
+        results = run_campaign(schedules, chaos_network, workers=1)
+        summary = campaign_summary(results)
+        assert summary["failing_runs"] == 0
+        assert summary["violations"] == {}
+        assert summary["undrained"] == 0
+
+    def test_summary_counts_failing_runs(self, chaos_network):
+        config = ProtocolConfig(debug_double_release=True)
+        schedules = build_campaign(7, 8, chaos_network, config)
+        results = run_campaign(schedules, chaos_network, config, workers=1)
+        summary = campaign_summary(results)
+        assert summary["failing_runs"] > 0
+        assert "reservation-conservation" in summary["violations"]
+
+
+class TestShrinking:
+    def test_ddmin_finds_single_culprit(self):
+        events = list(range(20))
+        assert _ddmin(events, lambda candidate: 13 in candidate) == [13]
+
+    def test_ddmin_keeps_conjoined_pair(self):
+        events = list(range(12))
+        result = _ddmin(
+            events, lambda candidate: 3 in candidate and 9 in candidate
+        )
+        assert result == [3, 9]
+
+    def test_planted_bug_shrinks_to_few_events(self, chaos_network, tmp_path):
+        """Acceptance criterion: the planted double-release is caught by a
+        campaign and shrunk to a <=5 event reproduction, exported as a
+        replayable artifact."""
+        config = ProtocolConfig(debug_double_release=True)
+        schedules = build_campaign(7, 8, chaos_network, config)
+        results = run_campaign(schedules, chaos_network, config, workers=1)
+        failing = [result for result in results if result.violations]
+        assert failing, "campaign must catch the planted double-release"
+        shrink = shrink_failing_run(failing[0], chaos_network, config)
+        assert shrink.reproduced
+        assert shrink.minimal_events <= 5
+        assert "reservation-conservation" in violation_signature(
+            shrink.violations
+        )
+
+        path = tmp_path / "artifact.json"
+        write_artifact(
+            path, artifact_payload(shrink, config, ENVIRONMENT)
+        )
+        payload = load_artifact(path)
+        assert payload["schema"] == SCHEMA
+        replayed = replay_artifact(payload)
+        assert "reservation-conservation" in violation_signature(
+            replayed.violations
+        )
+
+    def test_shrink_without_violations_rejected(self, chaos_network):
+        schedule = build_schedule(
+            "flapping", 3, chaos_network, ProtocolConfig()
+        )
+        result = run_schedule(schedule, chaos_network)
+        with pytest.raises(ValueError):
+            shrink_failing_run(result, chaos_network)
+
+    def test_load_artifact_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"schema": "other/9"}))
+        with pytest.raises(ValueError):
+            load_artifact(path)
+
+
+class TestProfileCoverage:
+    """The chaos-smoke CI campaign must exercise the profiles ISSUE names."""
+
+    def test_default_profiles_cover_required_shapes(self):
+        required = {"flapping", "failure_during_recovery", "repair_race"}
+        assert required <= set(DEFAULT_PROFILES)
+        assert set(DEFAULT_PROFILES) == set(PROFILES)

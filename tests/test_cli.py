@@ -145,3 +145,61 @@ class TestObservabilityFlags:
             return document, trace.read_text()
 
         assert run("a") == run("b")
+
+
+class TestTimedInjectionFlags:
+    def test_fail_at_spec_parsing(self):
+        args = build_parser().parse_args(
+            ["stats", "--fail-at", "1:link:0->1",
+             "--fail-at", "2:node:5", "--repair-at", "40:link:0->1"]
+        )
+        assert len(args.fail_at) == 2
+        assert args.fail_at[0][0] == 1.0
+        assert args.fail_at[1] == (2.0, 5)
+        assert args.repair_at[0][0] == 40.0
+
+    def test_bad_injection_specs_rejected(self):
+        for spec in ["nonsense", "1:volcano:3", "1:link:0-1", "x:node:3"]:
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["stats", "--fail-at", spec])
+
+    def test_stats_with_timed_injection(self, capsys):
+        assert main(
+            ["stats", "--failures", "0", "--fail-at", "1:link:0->1",
+             "--repair-at", "60:link:0->1"] + SMALL
+        ) == 0
+        assert "repro stats" in capsys.readouterr().out
+
+
+class TestChaosCommand:
+    def test_clean_campaign_exits_zero(self, capsys):
+        assert main(
+            ["chaos", "--campaign-size", "4", "--seed", "0",
+             "--workers", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "repro chaos" in out
+        assert "all runs clean" in out
+
+    def test_bad_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--profiles", "volcano"])
+
+    def test_planted_bug_fails_and_writes_artifact(self, capsys, tmp_path):
+        assert main(
+            ["chaos", "--plant-bug", "--campaign-size", "6", "--seed", "7",
+             "--max-artifacts", "1", "--artifact-dir", str(tmp_path),
+             "--workers", "1"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out
+        artifacts = sorted(tmp_path.glob("chaos-seed7-run*.json"))
+        assert artifacts
+        payload = json.loads(artifacts[0].read_text())
+        assert payload["schema"] == "repro.chaos/1"
+        assert payload["reproduced"] is True
+        assert len(payload["schedule"]["events"]) <= 5
+
+        # The exported artifact replays and reproduces the violation.
+        assert main(["chaos", "--replay", str(artifacts[0])]) == 1
+        assert "violations reproduced" in capsys.readouterr().out

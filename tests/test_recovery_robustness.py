@@ -1,0 +1,162 @@
+"""Robustness regressions: RCC give-up detection, timer lifecycle on
+node death, and recovery under a lossy control channel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BCPNetwork, FaultToleranceQoS, torus
+from repro.protocol import ProtocolConfig, ProtocolSimulation
+from repro.protocol.states import LocalChannelState
+
+
+@pytest.fixture
+def single_connection():
+    network = BCPNetwork(torus(4, 4, capacity=200.0))
+    connection = network.establish(
+        0, 10, ft_qos=FaultToleranceQoS(num_backups=2, mux_degree=1)
+    )
+    return network, connection
+
+
+class TestRCCGiveUpDetection:
+    def test_total_loss_on_backup_link_declares_it_failed(
+        self, single_connection
+    ):
+        """A link that delivers nothing (loss probability 1.0) must be
+        declared failed by the sender after the retransmission budget is
+        exhausted — the give-up path, not silent message loss — and
+        recovery must then proceed over the next backup."""
+        network, connection = single_connection
+        simulation = ProtocolSimulation(network, seed=0, trace=True)
+        backup_link = connection.backups[0].path.links[
+            len(connection.backups[0].path.links) // 2
+        ]
+        simulation.rcc_link(
+            backup_link.src, backup_link.dst
+        ).loss_probability = 1.0
+        simulation.rcc_link(
+            backup_link.dst, backup_link.src
+        ).loss_probability = 1.0
+
+        primary_link = connection.primary.path.links[1]
+        simulation.fail(primary_link, at=1.0)
+        simulation.run(until=600.0)
+
+        totals = simulation.rcc_totals()
+        assert totals["gave_up"] > 0
+        give_ups = simulation.trace.filter(category="hb-detect")
+        assert any(
+            "RCC gave up" in event.description
+            and str(backup_link) in event.description
+            for event in give_ups
+        )
+        assert backup_link in simulation._suspected_links
+
+        record = simulation.metrics.recoveries[connection.connection_id]
+        assert record.recovered
+        # Scheme 3 activates from both ends, so backup 1 can complete its
+        # activation even around the mute link — but once the give-up
+        # declares that link failed, the connection must abandon backup 1
+        # and end up carrying data on backup 2.
+        assert 2 in record.attempts
+        source_view = simulation.daemons[connection.source].views[
+            connection.connection_id
+        ]
+        assert (
+            source_view.current_channel
+            == connection.backups[1].channel_id
+        )
+
+    def test_give_ups_confined_to_the_dead_link(self, single_connection):
+        """With only a hard link failure, frames die (and give up) on that
+        link alone; no healthy link may be declared failed."""
+        network, connection = single_connection
+        simulation = ProtocolSimulation(network, seed=0)
+        failed_link = connection.primary.path.links[1]
+        simulation.fail(failed_link, at=1.0)
+        simulation.run(until=600.0)
+        for link, rcc in simulation._rcc.items():
+            if rcc.stats.gave_up:
+                assert link == failed_link
+        assert simulation._suspected_links <= {failed_link}
+        record = simulation.metrics.recoveries[connection.connection_id]
+        assert record.recovered_serial == 1
+
+
+class TestTimerLifecycleOnCrash:
+    def test_crash_cancels_pending_rejoin_timers(self, single_connection):
+        """A node that dies with rejoin timers pending must disarm them:
+        nothing of the dead node's soft state may fire later, and the
+        event heap must still drain."""
+        network, connection = single_connection
+        simulation = ProtocolSimulation(network, seed=0)
+        primary_path = connection.primary.path
+        crashed = primary_path.nodes[1]
+        simulation.fail(primary_path.links[1], at=1.0)
+        simulation.fail(crashed, at=10.0)
+        simulation.repair(crashed, at=200.0)
+
+        # At t=15 the crash has happened; every rejoin timer the node
+        # armed at t=1 must be disarmed.
+        simulation.run(until=15.0)
+        daemon = simulation.daemons[crashed]
+        assert daemon._rejoin_timers
+        assert all(
+            not timer.running for timer in daemon._rejoin_timers.values()
+        )
+
+        # Well past the original expiry (1 + rejoin_timeout), the dead
+        # node's channel record is frozen in U: the timer did not fire.
+        simulation.run(until=150.0)
+        record = daemon.records[connection.primary.channel_id]
+        assert record.state is LocalChannelState.UNHEALTHY
+
+        # After repair the re-armed timer completes the teardown, and the
+        # run quiesces (no orphaned events keep the heap alive).
+        simulation.run(until=500.0)
+        assert record.state is not LocalChannelState.UNHEALTHY
+        assert simulation.engine.pending == 0
+
+    def test_connection_still_recovers_around_the_crash(
+        self, single_connection
+    ):
+        network, connection = single_connection
+        simulation = ProtocolSimulation(network, seed=0)
+        primary_path = connection.primary.path
+        simulation.fail(primary_path.links[1], at=1.0)
+        simulation.fail(primary_path.nodes[1], at=10.0)
+        simulation.run(until=500.0)
+        record = simulation.metrics.recoveries[connection.connection_id]
+        assert record.recovered
+
+
+class TestLossyRecovery:
+    def test_recovery_completes_under_frame_loss(self, single_connection):
+        """End-to-end recovery with a 20% lossy control channel: the
+        ack/retransmit machinery must absorb the losses (retransmissions
+        observed) and still deliver a finite service disruption."""
+        network, connection = single_connection
+        config = ProtocolConfig(frame_loss_probability=0.2)
+        simulation = ProtocolSimulation(network, config, seed=1)
+        simulation.fail(connection.primary.path.links[1], at=1.0)
+        simulation.run(until=600.0)
+
+        totals = simulation.rcc_totals()
+        assert totals["retransmissions"] > 0
+        record = simulation.metrics.recoveries[connection.connection_id]
+        assert record.recovered
+        assert record.service_disruption is not None
+        assert record.service_disruption > 0.0
+
+    def test_lossless_retransmissions_confined_to_dead_link(
+        self, single_connection
+    ):
+        network, connection = single_connection
+        simulation = ProtocolSimulation(network, seed=1)
+        failed_link = connection.primary.path.links[1]
+        simulation.fail(failed_link, at=1.0)
+        simulation.run(until=600.0)
+        for link, rcc in simulation._rcc.items():
+            if rcc.stats.retransmissions:
+                assert link == failed_link
