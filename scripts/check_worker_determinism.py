@@ -10,7 +10,9 @@ Runs the same scenario evaluations with ``--workers 1`` and
 * ``repro.metrics/1`` counter maps,
 * grouped (per-mux-degree) evaluation,
 * the fully formatted Table 1 panel produced by the experiment driver,
-* the same panel with the route cache disabled (``--no-route-cache``).
+* the same panel with the route cache disabled (``--no-route-cache``),
+* a complete churn run with per-epoch recovery evaluation (stats dict
+  and the full ``repro.metrics/1`` snapshot, series included).
 
 Usage: PYTHONPATH=src python scripts/check_worker_determinism.py [N]
 """
@@ -92,6 +94,33 @@ def check_table1(workers: int) -> None:
           f"(serial {serial:.2f}s, workers={workers} {parallel:.2f}s)")
 
 
+def check_churn(workers: int) -> None:
+    """A churn run's exports must not depend on the worker count."""
+    from repro.core import BCPNetwork
+    from repro.network import torus
+    from repro.workload import ChurnConfig, ChurnEngine
+
+    def run(count: int) -> tuple[dict, dict]:
+        config = ChurnConfig(
+            arrival_rate=30.0, holding_time=2.0, duration=6.0,
+            epoch_interval=2.0, seed=SEED, pairs=8, eval_scenarios=8,
+            workers=count,
+        )
+        registry = MetricsRegistry()
+        network = BCPNetwork(torus(4, 4, capacity=200.0))
+        stats = ChurnEngine(network, config, metrics=registry).run()
+        return stats.to_dict(), registry.snapshot()
+
+    stats1, snapshot1 = run(1)
+    statsn, snapshotn = run(workers)
+    if stats1 != statsn:
+        _fail("churn stats", stats1, statsn)
+    if snapshot1 != snapshotn:
+        _fail("churn metrics snapshot", snapshot1, snapshotn)
+    print(f"  churn stats + snapshot identical "
+          f"({stats1['arrivals']} arrivals, {stats1['epochs']} epochs)")
+
+
 def check_route_cache_escape_hatch() -> None:
     """The ``--no-route-cache`` escape hatch must not change any result."""
     cached = run_table1(CONFIG, double_node_samples=20, seed=SEED,
@@ -123,6 +152,7 @@ def main() -> None:
     check_grouped(network, scenarios, workers)
     check_table1(workers)
     check_route_cache_escape_hatch()
+    check_churn(workers)
     print("OK: parallel evaluation is deterministic.")
 
 

@@ -56,18 +56,14 @@ class AdmissionController:
                 raise AdmissionError("insufficient free bandwidth", link)
 
     def reserve_primary(self, path: Path, traffic: TrafficSpec) -> None:
-        """Reserve primary bandwidth along ``path`` (all-or-nothing)."""
-        reserved: list[LinkId] = []
-        try:
-            for link in path.links:
-                self.ledger.reserve_primary(link, traffic.bandwidth)
-                reserved.append(link)
-        except Exception:
-            for link in reserved:
-                self.ledger.release_primary(link, traffic.bandwidth)
-            raise
+        """Reserve primary bandwidth along ``path`` (all-or-nothing).
+
+        One bulk ledger operation: validate-then-apply with a single
+        version bump, so downstream route caches invalidate once per
+        admitted path instead of once per link.
+        """
+        self.ledger.reserve_primary_path(path.links, traffic.bandwidth)
 
     def release_primary(self, path: Path, traffic: TrafficSpec) -> None:
         """Release primary bandwidth along ``path`` (teardown)."""
-        for link in path.links:
-            self.ledger.release_primary(link, traffic.bandwidth)
+        self.ledger.release_primary_path(path.links, traffic.bandwidth)

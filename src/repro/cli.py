@@ -272,6 +272,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="repair a component at a given time (same spec as --fail-at; "
              "repeatable)")
 
+    churn = subparsers.add_parser(
+        "churn", help="drive the network through a seeded arrival/"
+                      "departure churn process with epoch invariant audits")
+    _add_network_arguments(churn)
+    churn.add_argument("--arrival-rate", type=float, default=50.0,
+                       help="Poisson arrival rate, requests per simulated "
+                            "time unit (default 50)")
+    churn.add_argument("--holding-time", type=float, default=10.0,
+                       help="mean exponential connection holding time "
+                            "(default 10)")
+    churn.add_argument("--duration", type=float, default=100.0,
+                       help="simulated run length (default 100)")
+    churn.add_argument("--seed", type=int, default=0)
+    churn.add_argument("--backups", type=int, default=1)
+    churn.add_argument("--mux", type=int, default=3)
+    churn.add_argument("--bandwidth", type=float, default=1.0)
+    churn.add_argument("--batch-window", type=float, default=0.05,
+                       help="arrivals closer than this share one batched "
+                            "admission pass (default 0.05)")
+    churn.add_argument("--epoch-interval", type=float, default=10.0,
+                       help="ledger audit + time-series sampling cadence "
+                            "(default 10)")
+    churn.add_argument("--eval-scenarios", type=int, default=32,
+                       help="single-link failure scenarios evaluated per "
+                            "epoch (0 disables; default 32)")
+    churn.add_argument("--pairs", type=int, default=64,
+                       help="size of the pre-sampled node-pair pool "
+                            "(0 = fresh pair per arrival; default 64)")
+    churn.add_argument("--stats-out", metavar="PATH", default=None,
+                       help="write the deterministic churn stats as JSON")
+
     chaos = subparsers.add_parser(
         "chaos", help="run a seeded chaos campaign with the protocol "
                       "invariant auditor; shrink and export any failures")
@@ -358,6 +389,69 @@ def _run_stats(args: argparse.Namespace) -> str:
         header + "\n\n"
         + format_metrics(get_registry().snapshot(), title="Metrics summary")
     )
+
+
+def _run_churn(args: argparse.Namespace) -> tuple[str, int]:
+    """Seeded churn run; exit code 1 on any epoch invariant violation."""
+    import json
+
+    from repro.core.bcp import BCPNetwork
+    from repro.workload import ChurnConfig, ChurnEngine
+
+    config = _config(args)
+    churn_config = ChurnConfig(
+        arrival_rate=args.arrival_rate,
+        holding_time=args.holding_time,
+        duration=args.duration,
+        seed=args.seed,
+        bandwidth=args.bandwidth,
+        num_backups=args.backups,
+        mux_degree=args.mux,
+        batch_window=args.batch_window,
+        epoch_interval=args.epoch_interval,
+        eval_scenarios=args.eval_scenarios,
+        pairs=args.pairs,
+        workers=args.workers,
+    )
+    network = BCPNetwork(config.build())
+    engine = ChurnEngine(network, churn_config)
+    stats = engine.run()
+    if args.stats_out:
+        with open(args.stats_out, "w") as handle:
+            json.dump(stats.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    lines = [
+        f"repro churn — {config.label}, mux={args.mux}, "
+        f"{args.backups} backup(s), seed {args.seed}, "
+        f"rate {args.arrival_rate:g}/t, hold {args.holding_time:g}, "
+        f"duration {args.duration:g}",
+        f"arrivals: {stats.arrivals} in {stats.batches} batches; "
+        f"established: {stats.established}; blocked: {stats.blocked} "
+        f"(P_block {stats.blocking_probability:.4f}); "
+        f"departures: {stats.departures}",
+        f"connections: peak {stats.peak_connections}, "
+        f"final {stats.final_connections}; epochs audited: {stats.epochs}",
+    ]
+    if stats.recovery.scenarios:
+        r_fast = stats.recovery.r_fast
+        lines.append(
+            f"recovery under churn: {stats.recovery.scenarios} scenarios, "
+            f"R_fast "
+            + (f"{r_fast:.4f}" if r_fast is not None else "N/A")
+        )
+    if stats.clean:
+        lines.append("invariants: every epoch boundary clean")
+        code = 0
+    else:
+        lines.append(
+            f"invariants VIOLATED ({len(stats.audit_violations)} findings):"
+        )
+        lines.extend(f"  {finding}" for finding in stats.audit_violations)
+        code = 1
+    lines.append("")
+    lines.append(format_metrics(get_registry().snapshot(),
+                                title="Churn metrics"))
+    return "\n".join(lines), code
 
 
 def _format_violations(violations) -> list[str]:
@@ -531,6 +625,8 @@ def _run_command(args: argparse.Namespace) -> "str | tuple[str, int]":
         )
     if args.command == "stats":
         return _run_stats(args)
+    if args.command == "churn":
+        return _run_churn(args)
     if args.command == "chaos":
         return _run_chaos(args)
     if args.command == "all":

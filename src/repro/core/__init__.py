@@ -16,7 +16,11 @@
 
 from repro.core.bcp import BCPNetwork, EstablishmentError
 from repro.core.dconnection import ConnectionState, DConnection
-from repro.core.establishment import EstablishmentEngine, NegotiationOffer
+from repro.core.establishment import (
+    BatchRequest,
+    EstablishmentEngine,
+    NegotiationOffer,
+)
 from repro.core.multiplexing import LinkMuxState, MultiplexingEngine
 from repro.core.overlap import (
     OverlapPolicy,
@@ -31,6 +35,7 @@ from repro.core.reliability import (
 
 __all__ = [
     "BCPNetwork",
+    "BatchRequest",
     "EstablishmentError",
     "DConnection",
     "ConnectionState",

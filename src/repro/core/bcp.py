@@ -23,6 +23,7 @@ from repro.channels.registry import ChannelRegistry
 from repro.channels.traffic import TrafficSpec
 from repro.core.dconnection import DConnection
 from repro.core.establishment import (
+    BatchRequest,
     EstablishmentEngine,
     EstablishmentError,
     NegotiationOffer,
@@ -35,7 +36,12 @@ from repro.network.components import LinkId, NodeId
 from repro.network.reservations import ReservationLedger
 from repro.network.topology import Topology
 
-__all__ = ["BCPNetwork", "EstablishmentError", "ReconfigurationReport"]
+__all__ = [
+    "BCPNetwork",
+    "BatchRequest",
+    "EstablishmentError",
+    "ReconfigurationReport",
+]
 
 
 @dataclass
@@ -103,6 +109,21 @@ class BCPNetwork:
         connection = self.engine.establish(src, dst, traffic, delay_qos, ft_qos)
         self._connections[connection.connection_id] = connection
         return connection
+
+    def establish_batch(
+        self, requests: "list[BatchRequest]"
+    ) -> "list[DConnection | EstablishmentError]":
+        """Admit a batch of requests through one shared routing pass; see
+        :meth:`~repro.core.establishment.EstablishmentEngine.establish_batch`.
+
+        Successes are registered as live connections; failures stay in
+        the result list as the blocking :class:`EstablishmentError`.
+        """
+        results = self.engine.establish_batch(requests)
+        for result in results:
+            if isinstance(result, DConnection):
+                self._connections[result.connection_id] = result
+        return results
 
     def negotiate(
         self,

@@ -57,6 +57,27 @@ class EstablishmentError(Exception):
     unchanged when this propagates."""
 
 
+@dataclass(frozen=True)
+class BatchRequest:
+    """One establishment request in a batched admission pass.
+
+    Requests with equal :meth:`group_key` (same endpoints, bandwidth, and
+    QoS) are admitted through one shared routing pass by
+    :meth:`EstablishmentEngine.establish_batch`.
+    """
+
+    src: NodeId
+    dst: NodeId
+    traffic: TrafficSpec = TrafficSpec()
+    delay_qos: DelayQoS = DelayQoS()
+    ft_qos: FaultToleranceQoS = FaultToleranceQoS()
+
+    def group_key(self) -> tuple:
+        """Requests sharing this key can reuse one primary route."""
+        return (self.src, self.dst, self.traffic.bandwidth,
+                self.delay_qos, self.ft_qos)
+
+
 @dataclass
 class NegotiationOffer:
     """Result of the loose negotiation scheme (Section 3.4, scheme 1).
@@ -165,6 +186,93 @@ class EstablishmentEngine:
             return self.establish_literal(src, dst, traffic, delay_qos, ft_qos)
 
         connection = self._establish_primary_only(src, dst, traffic, delay_qos, ft_qos)
+        return self._attach_backups(connection, ft_qos)
+
+    def establish_batch(
+        self, requests: "list[BatchRequest]"
+    ) -> "list[DConnection | EstablishmentError]":
+        """Admit a batch of requests through shared routing work.
+
+        Requests are grouped by :meth:`BatchRequest.group_key`; within a
+        group the primary is routed once and the path *reused* for the
+        following requests as long as every link still passes the
+        admission test (``can_reserve_primary``), re-routing only on
+        saturation.  Because establishment is all-or-nothing, a fresh
+        route that fails leaves the network unchanged — so the same
+        failure is propagated to the group's remaining members without
+        re-running the search.  Declarative (literal-``P_r``) requests
+        re-route per connection anyway and are admitted individually.
+
+        Returns a list aligned with ``requests``: each entry is the
+        established :class:`DConnection` or the
+        :class:`EstablishmentError` that blocked it.  The outcome for
+        every request is identical to sequential one-at-a-time
+        establishment, except that a reused path may be a different
+        (equal-length, still shortest feasible) member of the same
+        shortest-path equivalence class.
+        """
+        results: "list[DConnection | EstablishmentError]" = [None] * len(requests)
+        groups: dict[tuple, list[int]] = {}
+        for index, request in enumerate(requests):
+            groups.setdefault(request.group_key(), []).append(index)
+        for indices in groups.values():
+            cached_path: Path | None = None
+            blocked: EstablishmentError | None = None
+            for index in indices:
+                request = requests[index]
+                if request.ft_qos.is_declarative:
+                    try:
+                        results[index] = self.establish_literal(
+                            request.src, request.dst, request.traffic,
+                            request.delay_qos, request.ft_qos,
+                        )
+                    except EstablishmentError as error:
+                        results[index] = error
+                    continue
+                if blocked is not None:
+                    results[index] = blocked
+                    continue
+                bandwidth = request.traffic.bandwidth
+                reuse = cached_path is not None and all(
+                    self.ledger.can_reserve_primary(link, bandwidth)
+                    for link in cached_path.links
+                )
+                while True:
+                    try:
+                        if reuse:
+                            connection = self._commit_primary(
+                                request.src, request.dst, request.traffic,
+                                request.delay_qos, request.ft_qos, cached_path,
+                            )
+                        else:
+                            connection = self._establish_primary_only(
+                                request.src, request.dst, request.traffic,
+                                request.delay_qos, request.ft_qos,
+                            )
+                        connection = self._attach_backups(connection, request.ft_qos)
+                    except EstablishmentError as error:
+                        if reuse:
+                            # All-or-nothing rolled everything back; retry
+                            # this request with a fresh route before giving
+                            # up on it (the reused path may simply have
+                            # poor backup prospects now).
+                            reuse = False
+                            cached_path = None
+                            continue
+                        results[index] = error
+                        blocked = error
+                        cached_path = None
+                        break
+                    results[index] = connection
+                    cached_path = connection.primary.path
+                    break
+        return results
+
+    def _attach_backups(
+        self, connection: DConnection, ft_qos: FaultToleranceQoS
+    ) -> DConnection:
+        """Add the prescriptive backups to a freshly admitted primary
+        (all-or-nothing: failure tears the connection down)."""
         try:
             for _ in range(ft_qos.num_backups):
                 self.add_backup(connection, ft_qos.mux_degree)
@@ -350,9 +458,21 @@ class EstablishmentEngine:
         connection.backups.remove(backup)
 
     def teardown(self, connection: DConnection) -> None:
-        """Tear down the whole D-connection, releasing every reservation."""
-        for backup in list(connection.backups):
-            self.remove_backup(connection, backup)
+        """Tear down the whole D-connection, releasing every reservation.
+
+        Incremental: the backups leave the multiplexing state first and
+        only the links they crossed get their spare pools re-mirrored, in
+        one bulk ledger update (a single version bump); the primary's
+        bandwidth is then released along its path in a second bulk update.
+        Links the connection never touched keep their pools untouched.
+        """
+        backups = list(connection.backups)
+        if backups:
+            requirements = self.mux.remove_backups(backups)
+            self.ledger.set_spares(requirements)
+            for backup in backups:
+                self.registry.remove(backup.channel_id)
+            connection.backups.clear()
         if connection.primary.channel_id in self.registry:
             self.admission.release_primary(connection.primary.path, connection.traffic)
             self.registry.remove(connection.primary.channel_id)
@@ -369,6 +489,18 @@ class EstablishmentEngine:
         delay_qos: DelayQoS,
         ft_qos: FaultToleranceQoS,
     ) -> DConnection:
+        path = self._route_primary(src, dst, traffic, delay_qos)
+        return self._commit_primary(src, dst, traffic, delay_qos, ft_qos, path)
+
+    def _route_primary(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        traffic: TrafficSpec,
+        delay_qos: DelayQoS,
+    ) -> Path:
+        """Shortest admissible primary path — the routing half of
+        establishment, separated so batched admission can reuse it."""
         if src == dst:
             raise EstablishmentError(f"source equals destination: {src!r}")
         try:
@@ -380,15 +512,31 @@ class EstablishmentEngine:
             max_hops=delay_qos.max_hops(shortest_possible),
         )
         try:
-            path = shortest_path(self.topology, src, dst, constraints)
+            return shortest_path(self.topology, src, dst, constraints)
         except NoPathError as error:
             raise EstablishmentError(
                 f"no admissible primary path {src!r}->{dst!r}: {error}"
             ) from error
+
+    def _commit_primary(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        traffic: TrafficSpec,
+        delay_qos: DelayQoS,
+        ft_qos: FaultToleranceQoS,
+        path: Path,
+    ) -> DConnection:
+        """Reserve ``path`` and mint the primary channel + connection —
+        the commitment half of establishment."""
         try:
             self.admission.reserve_primary(path, traffic)
         except AdmissionError as error:  # pragma: no cover - predicate guards
             raise EstablishmentError(str(error)) from error
+        except Exception as error:
+            raise EstablishmentError(
+                f"primary reservation failed {src!r}->{dst!r}: {error}"
+            ) from error
 
         primary = Channel(
             channel_id=self.registry.allocate_id(),
@@ -514,16 +662,9 @@ class EstablishmentEngine:
         )
         requirements = self.mux.add_backup(backup, connection.primary)
         try:
-            committed: list[LinkId] = []
-            previous = {link: self.ledger.spare_reserved(link) for link in requirements}
-            try:
-                for link, required in requirements.items():
-                    self.ledger.set_spare(link, required)
-                    committed.append(link)
-            except Exception:
-                for link in committed:
-                    self.ledger.set_spare(link, previous[link])
-                raise
+            # Bulk mirror: validate-then-apply, so a failure leaves every
+            # pool untouched and only the mux registration needs undoing.
+            self.ledger.set_spares(requirements)
         except Exception as error:
             self.mux.remove_backup(backup)
             raise EstablishmentError(

@@ -439,6 +439,20 @@ class MultiplexingEngine:
         self.overlaps.unregister(backup.channel_id)
         return requirements
 
+    def remove_backups(self, backups: "list[Channel]") -> dict[LinkId, float]:
+        """Deregister several backups at once; returns the new required
+        pool size per *affected* link.
+
+        Later removals overwrite earlier values for shared links, so the
+        returned mapping holds each link's final requirement — suitable
+        for one bulk :meth:`ReservationLedger.set_spares` mirror (the
+        incremental-teardown path: only links some removed backup crossed
+        are touched, everything else keeps its pool untouched)."""
+        requirements: dict[LinkId, float] = {}
+        for backup in backups:
+            requirements.update(self.remove_backup(backup))
+        return requirements
+
     def psi_sizes(self, backup: Channel) -> dict[LinkId, int]:
         """|Ψ(B_i, ℓ)| for every link of the backup's path — the inputs of
         the P_muxf upper bound (Section 3.3)."""

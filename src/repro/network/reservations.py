@@ -11,10 +11,34 @@ The admission rule everywhere is ``primary + spare <= capacity``.  The
 ledger enforces it and exposes the two network-wide percentages the paper
 reports: *network-load* (primary bandwidth over total capacity) and
 *spare bandwidth* (spare reservation over total capacity).
+
+Topology mutation contract
+--------------------------
+
+A ledger observes its topology through ``topology.version``.  Links (and
+nodes) may be **added** after the ledger is constructed — the runtime
+re-establishes over grown graphs, and churn workloads mutate topologies
+between establishment rounds.  The ledger extends itself lazily: any
+accessor that misses a link, and every bulk/network-wide operation,
+first reconciles ``_links`` against ``topology.links()``.  Two
+guarantees follow:
+
+* ``ledger()`` / ``free()`` / the reserve/release/spare operations work
+  for links added after construction (no ``KeyError``), and
+* :meth:`free_values` stays in ``topology.links()`` order and length —
+  the flat routing core's bulk free-capacity mirror indexes it
+  positionally against the CSR edge table, so order drift would
+  silently route on stale capacities.
+
+Reconciliation bumps :attr:`version` so every version-keyed consumer
+(route-cache floor tables, the flat view's free mirror, spare-pool
+snapshots) refreshes.  Link *removal* is not supported — failures are
+modelled as state on top of a static link set, never as deletion.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
 
 from repro.network.components import LinkId
@@ -99,6 +123,7 @@ class ReservationLedger:
     topology: Topology
     _links: dict[LinkId, LinkLedger] = field(init=False)
     _version: int = field(init=False, default=0)
+    _topology_version: int = field(init=False, default=-1)
     _spares_cache: "tuple[int, dict[LinkId, float]] | None" = field(
         init=False, default=None, repr=False
     )
@@ -108,6 +133,38 @@ class ReservationLedger:
             link: LinkLedger(capacity=self.topology.capacity(link))
             for link in self.topology.links()
         }
+        self._topology_version = self.topology.version
+
+    def _sync_topology(self) -> None:
+        """Extend ``_links`` with links added to the topology since the
+        last reconciliation (see the module docstring's mutation contract).
+
+        Existing entries keep their reservations; new links start empty.
+        ``topology.links()`` is insertion-ordered and existing entries were
+        inserted in that same order, so appending the missing tail keeps
+        ``free_values()`` aligned with the flat view's positional mapping.
+        Bumps :attr:`version` when anything was added, invalidating every
+        version-keyed derived view.
+        """
+        if self._topology_version == self.topology.version:
+            return
+        links = self._links
+        grew = False
+        for link in self.topology.links():
+            if link not in links:
+                links[link] = LinkLedger(capacity=self.topology.capacity(link))
+                grew = True
+        self._topology_version = self.topology.version
+        if grew:
+            self._version += 1
+
+    def _entry(self, link: LinkId) -> LinkLedger:
+        """``_links[link]``, reconciling with the topology on a miss."""
+        entry = self._links.get(link)
+        if entry is None:
+            self._sync_topology()
+            entry = self._links[link]
+        return entry
 
     @property
     def version(self) -> int:
@@ -124,26 +181,26 @@ class ReservationLedger:
     # ------------------------------------------------------------------
     def ledger(self, link: LinkId) -> LinkLedger:
         """The :class:`LinkLedger` for ``link``."""
-        return self._links[link]
+        return self._entry(link)
 
     def free(self, link: LinkId) -> float:
         """Uncommitted bandwidth on ``link``."""
-        return self._links[link].free
+        return self._entry(link).free
 
     def primary_reserved(self, link: LinkId) -> float:
         """Primary-pool reservation on ``link``."""
-        return self._links[link].primary
+        return self._entry(link).primary
 
     def spare_reserved(self, link: LinkId) -> float:
         """Spare-pool reservation on ``link``."""
-        return self._links[link].spare
+        return self._entry(link).spare
 
     # ------------------------------------------------------------------
     # primary-pool operations
     # ------------------------------------------------------------------
     def can_reserve_primary(self, link: LinkId, bandwidth: float) -> bool:
         """Whether ``bandwidth`` more primary reservation fits on ``link``."""
-        return self._links[link].free + _EPSILON >= bandwidth
+        return self._entry(link).free + _EPSILON >= bandwidth
 
     def capacity_floor(self, bandwidth: float) -> CapacityFloor:
         """A :class:`CapacityFloor` predicate bound to this ledger.
@@ -160,13 +217,16 @@ class ReservationLedger:
 
         Bulk accessor for the flat routing core's free-capacity mirror;
         one list build here replaces a dict lookup per link per search.
+        Reconciles with the topology first so order *and length* match
+        the current ``topology.links()`` (see the mutation contract).
         """
+        self._sync_topology()
         return [entry.free for entry in self._links.values()]
 
     def reserve_primary(self, link: LinkId, bandwidth: float) -> None:
         """Commit primary bandwidth; raises on capacity overflow."""
         check_non_negative(bandwidth, "bandwidth")
-        entry = self._links[link]
+        entry = self._entry(link)
         if entry.free + _EPSILON < bandwidth:
             raise InsufficientCapacityError(link, bandwidth, entry.free)
         entry.primary += bandwidth
@@ -175,7 +235,7 @@ class ReservationLedger:
     def release_primary(self, link: LinkId, bandwidth: float) -> None:
         """Return primary bandwidth to the free pool."""
         check_non_negative(bandwidth, "bandwidth")
-        entry = self._links[link]
+        entry = self._entry(link)
         if entry.primary + _EPSILON < bandwidth:
             raise ValueError(
                 f"link {link}: releasing {bandwidth:g} primary but only "
@@ -184,12 +244,51 @@ class ReservationLedger:
         entry.primary = max(0.0, entry.primary - bandwidth)
         self._version += 1
 
+    def reserve_primary_path(
+        self, links: Iterable[LinkId], bandwidth: float
+    ) -> None:
+        """Commit primary bandwidth on every link of a path, atomically.
+
+        Validate-then-apply: either every link had room and all are
+        reserved under **one** version bump, or nothing changed and
+        :class:`InsufficientCapacityError` names the first violating
+        link.  ``links`` must not repeat a link (paths are simple).
+        """
+        check_non_negative(bandwidth, "bandwidth")
+        entries = [(link, self._entry(link)) for link in links]
+        for link, entry in entries:
+            if entry.free + _EPSILON < bandwidth:
+                raise InsufficientCapacityError(link, bandwidth, entry.free)
+        for _, entry in entries:
+            entry.primary += bandwidth
+        self._version += 1
+
+    def release_primary_path(
+        self, links: Iterable[LinkId], bandwidth: float
+    ) -> None:
+        """Release primary bandwidth on every link of a path, atomically.
+
+        The bulk twin of :meth:`release_primary` (teardown's hot path):
+        validate-then-apply with a single version bump.
+        """
+        check_non_negative(bandwidth, "bandwidth")
+        entries = [(link, self._entry(link)) for link in links]
+        for link, entry in entries:
+            if entry.primary + _EPSILON < bandwidth:
+                raise ValueError(
+                    f"link {link}: releasing {bandwidth:g} primary but only "
+                    f"{entry.primary:g} reserved"
+                )
+        for _, entry in entries:
+            entry.primary = max(0.0, entry.primary - bandwidth)
+        self._version += 1
+
     # ------------------------------------------------------------------
     # spare-pool operations
     # ------------------------------------------------------------------
     def can_set_spare(self, link: LinkId, amount: float) -> bool:
         """Whether the spare pool of ``link`` can be resized to ``amount``."""
-        entry = self._links[link]
+        entry = self._entry(link)
         return entry.primary + amount <= entry.capacity + _EPSILON
 
     def set_spare(self, link: LinkId, amount: float) -> None:
@@ -200,12 +299,39 @@ class ReservationLedger:
         absolute set rather than a relative reserve/release.
         """
         check_non_negative(amount, "amount")
-        entry = self._links[link]
+        entry = self._entry(link)
         if entry.primary + amount > entry.capacity + _EPSILON:
             raise InsufficientCapacityError(
                 link, amount, entry.capacity - entry.primary
             )
         entry.spare = amount
+        self._version += 1
+
+    def set_spares(self, amounts: "Mapping[LinkId, float]") -> None:
+        """Resize many links' spare pools at once, atomically.
+
+        Validate-then-apply over the whole mapping: either every resize
+        fits (and everything is installed under **one** version bump) or
+        nothing changed and :class:`InsufficientCapacityError` names the
+        first violating link.  This is the establishment/teardown bulk
+        path — a backup commit or a connection teardown touches every
+        link of a path, and per-link :meth:`set_spare` calls would both
+        bump the version per link (defeating floor-table reuse) and need
+        manual rollback on mid-path failure.
+        """
+        resolved = []
+        for link, amount in amounts.items():
+            check_non_negative(amount, "amount")
+            entry = self._entry(link)
+            if entry.primary + amount > entry.capacity + _EPSILON:
+                raise InsufficientCapacityError(
+                    link, amount, entry.capacity - entry.primary
+                )
+            resolved.append((entry, amount))
+        if not resolved:
+            return
+        for entry, amount in resolved:
+            entry.spare = amount
         self._version += 1
 
     def convert_spare_to_primary(self, link: LinkId, bandwidth: float) -> None:
@@ -216,7 +342,7 @@ class ReservationLedger:
         shareable spare but dedicated primary reservation.
         """
         check_non_negative(bandwidth, "bandwidth")
-        entry = self._links[link]
+        entry = self._entry(link)
         if entry.spare + _EPSILON < bandwidth:
             raise InsufficientCapacityError(link, bandwidth, entry.spare)
         entry.spare -= bandwidth
@@ -228,21 +354,25 @@ class ReservationLedger:
     # ------------------------------------------------------------------
     def network_load(self) -> float:
         """Primary bandwidth over total capacity — the paper's *network-load*."""
+        self._sync_topology()
         total = self.topology.total_capacity()
         return sum(entry.primary for entry in self._links.values()) / total
 
     def spare_fraction(self) -> float:
         """Spare reservation over total capacity — the paper's
         *average spare bandwidth*."""
+        self._sync_topology()
         total = self.topology.total_capacity()
         return sum(entry.spare for entry in self._links.values()) / total
 
     def total_spare(self) -> float:
         """Absolute spare bandwidth summed over all links."""
+        self._sync_topology()
         return sum(entry.spare for entry in self._links.values())
 
     def max_link_utilization(self) -> float:
         """Highest ``reserved / capacity`` ratio over all links."""
+        self._sync_topology()
         return max(
             (entry.reserved / entry.capacity for entry in self._links.values()),
             default=0.0,
@@ -254,6 +384,7 @@ class ReservationLedger:
         Returns one human-readable problem string per violating link —
         empty means the ledger is internally consistent.  Used by the
         protocol invariant auditor; cheap enough to run per sweep."""
+        self._sync_topology()
         problems: list[str] = []
         for link, entry in self._links.items():
             if entry.primary < -_EPSILON:
@@ -279,6 +410,7 @@ class ReservationLedger:
         copy is rebuilt only when :attr:`version` changed since the last
         call; repeated snapshots of an unchanged ledger are free.
         """
+        self._sync_topology()
         cache = self._spares_cache
         if cache is not None and cache[0] == self._version:
             return dict(cache[1])
@@ -294,6 +426,7 @@ class ReservationLedger:
         paths (evaluator construction per shard) where even the O(links)
         copy matters.
         """
+        self._sync_topology()
         cache = self._spares_cache
         if cache is None or cache[0] != self._version:
             self._spares_cache = (

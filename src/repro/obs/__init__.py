@@ -21,6 +21,7 @@ from repro.obs.registry import (
     NULL_REGISTRY,
     NullRegistry,
     SNAPSHOT_SCHEMA,
+    Series,
     Timer,
     get_registry,
     get_trace_sink,
@@ -34,6 +35,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Series",
     "Timer",
     "MetricsRegistry",
     "NullRegistry",

@@ -80,6 +80,15 @@ def format_metrics(snapshot: dict, title: "str | None" = None) -> str:
               _fmt(h["p95"]), _fmt(h["p99"]), _fmt(h["max"])]
              for name, h in sorted(histograms.items())],
         ))
+    series = snapshot.get("series", {})
+    if series:
+        parts.append(format_table(
+            ["series", "count", "points", "last time", "last value"],
+            [[name, s["count"], len(s["points"]),
+              _fmt(s["points"][-1][0] if s["points"] else None),
+              _fmt(s["points"][-1][1] if s["points"] else None)]
+             for name, s in sorted(series.items())],
+        ))
     if not parts:
         return (title or "Metrics summary") + "\n(no metrics recorded)"
     return "\n\n".join(parts)

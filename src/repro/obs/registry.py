@@ -196,6 +196,80 @@ class Timer(Histogram):
             self.record(perf_counter() - start)
 
 
+class Series:
+    """A bounded time series of ``(time, value)`` points.
+
+    For workload-level signals sampled against a *simulated* clock —
+    blocking probability, spare fraction, network load over a churn run.
+    Memory is bounded the same way as :class:`Histogram`: once
+    ``max_points`` points are retained, every other point is dropped and
+    the keep-stride doubles, so the retained series stays an evenly
+    spaced deterministic subsample (no RNG) of everything appended.
+    ``count`` tracks every append exactly; the first and latest points
+    are always retained (the latest outside the decimation buffer), so
+    run-boundary values survive decimation.
+    """
+
+    __slots__ = ("name", "count", "max_points", "last_time", "last_value",
+                 "_points", "_stride", "_skip")
+
+    def __init__(self, name: str, max_points: int = DEFAULT_MAX_SAMPLES) -> None:
+        self.name = name
+        self.count = 0
+        self.max_points = max_points
+        self.last_time: "float | None" = None
+        self.last_value: "float | None" = None
+        self._points: list[tuple[float, float]] = []
+        self._stride = 1
+        self._skip = 0
+
+    def append(self, time: float, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.last_time = time
+        self.last_value = value
+        if self._skip:
+            self._skip -= 1
+            return
+        points = self._points
+        points.append((time, value))
+        if len(points) >= self.max_points:
+            # Keep index 0 (the run's first sample) and every other
+            # survivor after it.
+            del points[1::2]
+            self._stride *= 2
+        self._skip = self._stride - 1
+
+    def points(self) -> list[tuple[float, float]]:
+        """The retained ``(time, value)`` points, in append order,
+        including the latest sample even when decimation skipped it."""
+        points = list(self._points)
+        if (self.last_time is not None
+                and (not points or points[-1][0] != self.last_time)):
+            points.append((self.last_time, self.last_value))
+        return points
+
+    def absorb(self, summary: dict) -> None:
+        """Fold another series' exported summary in (parallel merges).
+
+        The absorbed side's retained points are appended through
+        :meth:`append` in order, so the decimation state stays
+        consistent; its dropped points are gone (only the summary
+        crossed the process boundary), mirroring histogram absorption.
+        """
+        absorbed = summary.get("points") or []
+        for time, value in absorbed:
+            self.append(time, value)
+        self.count += summary.get("count", len(absorbed)) - len(absorbed)
+
+    def summary(self) -> dict:
+        """The exported shape: exact ``count`` plus the retained points."""
+        return {
+            "count": self.count,
+            "points": [[time, value] for time, value in self.points()],
+        }
+
+
 class MetricsRegistry:
     """A namespace of get-or-create instruments.
 
@@ -241,6 +315,10 @@ class MetricsRegistry:
         """Get or create the named timer (a histogram of seconds)."""
         return self._get(name, Timer)
 
+    def series(self, name: str) -> Series:
+        """Get or create the named time series."""
+        return self._get(name, Series)
+
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
         """One JSON-ready dict of everything recorded so far.
@@ -251,19 +329,23 @@ class MetricsRegistry:
              "counters":   {name: int},
              "gauges":     {name: {"value", "min", "max"}},
              "histograms": {name: {"count", "sum", "min", "max",
-                                   "mean", "p50", "p95", "p99"}}}
+                                   "mean", "p50", "p95", "p99"}},
+             "series":     {name: {"count", "points": [[t, v], ...]}}}
 
         Keys are sorted so identical runs produce identical documents.
         """
         counters: dict[str, int] = {}
         gauges: dict[str, dict] = {}
         histograms: dict[str, dict] = {}
+        series: dict[str, dict] = {}
         for name in sorted(self._instruments):
             instrument = self._instruments[name]
             if isinstance(instrument, Counter):
                 counters[name] = instrument.value
             elif isinstance(instrument, Gauge):
                 gauges[name] = instrument.summary()
+            elif isinstance(instrument, Series):
+                series[name] = instrument.summary()
             else:
                 histograms[name] = instrument.summary()
         return {
@@ -271,6 +353,7 @@ class MetricsRegistry:
             "counters": counters,
             "gauges": gauges,
             "histograms": histograms,
+            "series": series,
         }
 
     def absorb(self, snapshot: dict) -> None:
@@ -299,6 +382,8 @@ class MetricsRegistry:
                     f"{type(instrument).__name__}, not Histogram"
                 )
             instrument.absorb(summary)
+        for name, summary in snapshot.get("series", {}).items():
+            self.series(name).absorb(summary)
 
     def reset(self) -> None:
         """Drop every instrument (callers' cached references go stale)."""
@@ -355,9 +440,27 @@ class _NullHistogram:
         yield self
 
 
+class _NullSeries:
+    __slots__ = ()
+    name = "null"
+    count = 0
+    last_time = None
+    last_value = None
+
+    def append(self, time: float, value: float) -> None:
+        pass
+
+    def points(self) -> list:
+        return []
+
+    def summary(self) -> dict:
+        return {"count": 0, "points": []}
+
+
 _NULL_COUNTER = _NullCounter()
 _NULL_GAUGE = _NullGauge()
 _NULL_HISTOGRAM = _NullHistogram()
+_NULL_SERIES = _NullSeries()
 
 
 class NullRegistry(MetricsRegistry):
@@ -381,9 +484,12 @@ class NullRegistry(MetricsRegistry):
     def timer(self, name: str) -> Timer:
         return _NULL_HISTOGRAM  # type: ignore[return-value]
 
+    def series(self, name: str) -> Series:
+        return _NULL_SERIES  # type: ignore[return-value]
+
     def snapshot(self) -> dict:
         return {"schema": SNAPSHOT_SCHEMA, "counters": {}, "gauges": {},
-                "histograms": {}}
+                "histograms": {}, "series": {}}
 
     def absorb(self, snapshot: dict) -> None:
         pass
@@ -407,6 +513,7 @@ def merge_snapshots(snapshots: "list[dict]") -> dict:
     counters: dict[str, int] = {}
     gauges: dict[str, dict] = {}
     histograms: dict[str, dict] = {}
+    series: dict[str, dict] = {}
     for snapshot in snapshots:
         for name, value in snapshot.get("counters", {}).items():
             counters[name] = counters.get(name, 0) + value
@@ -447,11 +554,27 @@ def merge_snapshots(snapshots: "list[dict]") -> dict:
             merged["max"] = max(merged["max"], summary["max"])
             merged["count"] = total_count
             merged["mean"] = merged["sum"] / total_count
+        for name, summary in snapshot.get("series", {}).items():
+            merged = series.get(name)
+            if merged is None:
+                series[name] = {
+                    "count": summary["count"],
+                    "points": [list(point) for point in summary["points"]],
+                }
+            else:
+                merged["count"] += summary["count"]
+                merged["points"].extend(list(point) for point in summary["points"])
+    for summary in series.values():
+        if len(summary["points"]) > DEFAULT_MAX_SAMPLES:
+            holder = Series("merge", max_points=DEFAULT_MAX_SAMPLES)
+            holder.absorb(summary)
+            summary["points"] = [list(point) for point in holder.points()]
     return {
         "schema": SNAPSHOT_SCHEMA,
         "counters": dict(sorted(counters.items())),
         "gauges": dict(sorted(gauges.items())),
         "histograms": dict(sorted(histograms.items())),
+        "series": dict(sorted(series.items())),
     }
 
 

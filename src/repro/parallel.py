@@ -220,21 +220,46 @@ def _run_sharded(
             for index, (shard, shard_seed) in enumerate(zip(shards, seeds))
         ]
     else:
-        payload = pickle.dumps(shared, protocol=pickle.HIGHEST_PROTOCOL)
         pool_fn = _pool_shard_stats if key is None else _pool_shard_groups
-        with ProcessPoolExecutor(
-            max_workers=worker_count,
-            mp_context=_mp_context(),
-            initializer=_init_shared,
-            initargs=(payload,),
-        ) as pool:
-            futures = [
-                pool.submit(pool_fn, index, shard, shard_seed)
-                for index, (shard, shard_seed) in enumerate(zip(shards, seeds))
-            ]
-            # result() re-raises worker exceptions — a poisoned scenario
-            # aborts the sweep instead of hanging it.
-            outputs = [future.result() for future in futures]
+        context = _mp_context()
+        if context.get_start_method() == "fork":
+            # Fork inherits the parent's address space, so the shared
+            # state can be installed as a module global before the pool
+            # forks — no pickle round-trip of the (potentially large)
+            # network at all.  Every worker is forked during the submit
+            # loop, strictly inside the window where ``_SHARED`` is set;
+            # the previous value is restored once all results are in.
+            global _SHARED
+            previous = _SHARED
+            _SHARED = shared
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=worker_count, mp_context=context
+                ) as pool:
+                    futures = [
+                        pool.submit(pool_fn, index, shard, shard_seed)
+                        for index, (shard, shard_seed) in enumerate(
+                            zip(shards, seeds)
+                        )
+                    ]
+                    # result() re-raises worker exceptions — a poisoned
+                    # scenario aborts the sweep instead of hanging it.
+                    outputs = [future.result() for future in futures]
+            finally:
+                _SHARED = previous
+        else:  # pragma: no cover - non-fork platforms
+            payload = pickle.dumps(shared, protocol=pickle.HIGHEST_PROTOCOL)
+            with ProcessPoolExecutor(
+                max_workers=worker_count,
+                mp_context=context,
+                initializer=_init_shared,
+                initargs=(payload,),
+            ) as pool:
+                futures = [
+                    pool.submit(pool_fn, index, shard, shard_seed)
+                    for index, (shard, shard_seed) in enumerate(zip(shards, seeds))
+                ]
+                outputs = [future.result() for future in futures]
     outputs.sort(key=lambda output: output[0])
     sink = get_trace_sink()
     for _, _, snapshot, events in outputs:

@@ -143,6 +143,11 @@ class RecoveryEvaluator:
         self._c_lost = obs.counter("evaluator.channels_lost")
         self._c_excluded = obs.counter("evaluator.excluded")
         self._base_spares = self._resolve_spares(spare_override)
+        #: Ledger version the base spare snapshot was captured at.
+        #: Consumers evaluating under churn (where establishment and
+        #: teardown keep moving the pools) check :attr:`is_stale` and
+        #: build a fresh evaluator instead of replaying dead state.
+        self.ledger_version = network.ledger.version
         # Free capacity per link, fixed at construction — only needed (and
         # only paid for) in fallback mode.
         self._base_free = (
@@ -150,6 +155,12 @@ class RecoveryEvaluator:
             if free_capacity_fallback
             else {}
         )
+
+    @property
+    def is_stale(self) -> bool:
+        """Whether the network's ledger has moved past the spare snapshot
+        this evaluator was built from (the evaluate-under-churn guard)."""
+        return self.network.ledger.version != self.ledger_version
 
     def reseed(self, seed: "int | None") -> None:
         """Replace the activation-order RNG (``ActivationOrder.RANDOM``).

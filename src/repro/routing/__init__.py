@@ -11,6 +11,7 @@ cost-biased backup-routing ablation.
 from repro.routing.disjoint import DisjointPathError, sequential_disjoint_paths
 from repro.routing.flatgraph import (
     FlatTopology,
+    StaleFlatViewError,
     flat_view,
     route_cache_enabled,
     set_route_cache_enabled,
@@ -36,6 +37,7 @@ __all__ = [
     "DisjointPathError",
     "k_shortest_paths",
     "FlatTopology",
+    "StaleFlatViewError",
     "flat_view",
     "route_cache_enabled",
     "set_route_cache_enabled",

@@ -55,10 +55,23 @@ from repro.routing.paths import Path
 __all__ = [
     "FlatTopology",
     "RouteCache",
+    "StaleFlatViewError",
     "flat_view",
     "route_cache_enabled",
     "set_route_cache_enabled",
 ]
+
+
+class StaleFlatViewError(RuntimeError):
+    """A :class:`FlatTopology` was searched after its topology mutated.
+
+    The compiled CSR arrays, the search buffers, *and the route cache*
+    are all sized and keyed for the topology as it was at compile time;
+    running a search on a stale view would silently route on the old
+    graph (or serve a cached route the new graph no longer supports).
+    Re-resolve through :func:`flat_view` — the public entry points in
+    :mod:`repro.routing.shortest` do this on every call.
+    """
 
 #: Process-wide escape hatch (``--no-route-cache`` on the CLI).  Search
 #: kernels still run flat; only memoisation is disabled.
@@ -267,6 +280,12 @@ class FlatTopology:
         is the caller's job; this mirrors the retained reference kernels
         exactly, including tie-breaks and the negative-cost ``ValueError``.
         """
+        if self.version != self.topology.version:
+            raise StaleFlatViewError(
+                f"flat view compiled at topology version {self.version} "
+                f"but {self.topology.name!r} is now at "
+                f"{self.topology.version}; re-resolve via flat_view()"
+            )
         pred = constraints.link_admissible
         floor: CapacityFloor | None = None
         if isinstance(pred, CapacityFloor):
@@ -315,6 +334,12 @@ class FlatTopology:
     def hop_distance(self, src: NodeId, dst: NodeId) -> int:
         """Unconstrained hop count via bidirectional BFS; ``-1`` when
         ``dst`` is unreachable.  ``src == dst`` is the caller's case."""
+        if self.version != self.topology.version:
+            raise StaleFlatViewError(
+                f"flat view compiled at topology version {self.version} "
+                f"but {self.topology.name!r} is now at "
+                f"{self.topology.version}; re-resolve via flat_view()"
+            )
         cacheable = _ROUTE_CACHE_ENABLED
         if cacheable:
             cache = self.cache
@@ -364,7 +389,18 @@ class FlatTopology:
         return ep
 
     def _sync_free(self, ledger: ReservationLedger) -> None:
-        """Refresh the per-edge free-bandwidth mirror from ``ledger``."""
+        """Refresh the per-edge free-bandwidth mirror from ``ledger``.
+
+        Refresh contract: the mirror is keyed on ``(ledger identity,
+        ledger.version)``, so any reservation change — *including* the
+        version bump the ledger performs when it reconciles with a grown
+        topology — forces a resync.  The bulk path indexes
+        ``ledger.free_values()`` positionally against the CSR edge
+        table, which is sound because (a) ``free_values()`` reconciles
+        to the current ``topology.links()`` order/length (the ledger's
+        mutation contract) and (b) a stale *view* can never get here —
+        :meth:`search` raises :class:`StaleFlatViewError` first.
+        """
         if (self._free_ledger is ledger
                 and self._free_version == ledger.version):
             return

@@ -72,7 +72,10 @@ class PeriodicTimer:
 
     def start(self, phase: float | None = None) -> None:
         """Begin firing; the first tick comes after ``phase`` (default: one
-        full period)."""
+        full period).  ``phase`` must be non-negative — a negative phase
+        would schedule the first tick in the simulated past."""
+        if phase is not None and not phase >= 0:
+            raise ValueError(f"phase must be >= 0, got {phase!r}")
         self.stop()
         self._running = True
         delay = self.period if phase is None else phase

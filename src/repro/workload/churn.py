@@ -1,0 +1,418 @@
+"""Seeded churn engine: Poisson arrivals, exponential holding times.
+
+The engine drives a long-lived :class:`~repro.core.bcp.BCPNetwork`
+through establish → hold → teardown cycles on a simulated clock:
+
+* **arrivals** form a Poisson process (rate ``arrival_rate``); each
+  arrival requests a D-connection between a seeded node pair;
+* arrivals landing within ``batch_window`` of each other — without a
+  departure or epoch boundary in between — are admitted as one **batch**
+  through :meth:`~repro.core.bcp.BCPNetwork.establish_batch`, so
+  same-pair requests share a single routing pass;
+* each admitted connection **holds** for an exponential time (mean
+  ``holding_time``) and is then torn down through the incremental bulk
+  path (only the links its channels crossed are touched);
+* at every **epoch boundary** (``epoch_interval``) the engine audits the
+  reservation ledger, cross-checks the multiplexing engine's required
+  pools against the ledger's mirrored spare pools, samples the blocking /
+  load / spare time series, and — optionally — evaluates a deterministic
+  sample of single-link failure scenarios against the live network
+  (the evaluate-under-churn snapshot).
+
+Determinism: four independent RNG streams (arrival gaps, node pairs,
+holding times, per-epoch evaluation) are derived from one seed via
+:func:`~repro.util.rng.spawn_rngs`, every simulated quantity (including
+the recorded establishment latency, ``per_hop_latency`` x channel hops)
+is computed from seeded state, and per-epoch scenario evaluation folds
+only its *counters* into the session registry (its wall-clock timers
+stay in a private registry).  Metrics and stats exports are therefore
+byte-identical for any ``workers`` count.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.channels.qos import DelayQoS, FaultToleranceQoS
+from repro.channels.traffic import TrafficSpec
+from repro.core.bcp import BCPNetwork, BatchRequest
+from repro.core.dconnection import DConnection
+from repro.faults.models import FailureScenario
+from repro.obs.registry import (
+    MetricsRegistry,
+    SNAPSHOT_SCHEMA,
+    get_registry,
+)
+from repro.parallel import evaluate_scenarios
+from repro.recovery.metrics import RecoveryStats
+from repro.util.rng import spawn_rngs
+from repro.util.validation import check_non_negative, check_positive
+
+#: Spare mirrored into the ledger may differ from the mux requirement by
+#: float round-off only; anything larger is a consistency violation.
+_SPARE_EPSILON = 1e-6
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Parameters of one churn run.
+
+    ``pairs`` bounds the node-pair pool: arrivals draw from a pre-sampled
+    pool of that many ordered pairs (with repetition), which makes
+    same-pair batching effective; ``0`` draws a fresh pair per arrival.
+    ``eval_scenarios`` enables the per-epoch recovery evaluation with a
+    deterministic sample of that many single-link failures.
+    """
+
+    arrival_rate: float = 50.0
+    holding_time: float = 10.0
+    duration: float = 100.0
+    seed: int = 0
+    bandwidth: float = 1.0
+    num_backups: int = 1
+    mux_degree: int = 1
+    slack_hops: int = 2
+    batch_window: float = 0.05
+    epoch_interval: float = 10.0
+    eval_scenarios: int = 0
+    pairs: int = 0
+    per_hop_latency: float = 0.001
+    workers: "int | None" = 1
+
+    def __post_init__(self) -> None:
+        check_positive(self.arrival_rate, "arrival_rate")
+        check_positive(self.holding_time, "holding_time")
+        check_positive(self.duration, "duration")
+        check_positive(self.bandwidth, "bandwidth")
+        check_positive(self.epoch_interval, "epoch_interval")
+        check_non_negative(self.batch_window, "batch_window")
+        check_non_negative(self.per_hop_latency, "per_hop_latency")
+        if self.num_backups < 0:
+            raise ValueError(f"num_backups must be >= 0, got {self.num_backups}")
+        if self.mux_degree < 0:
+            raise ValueError(f"mux_degree must be >= 0, got {self.mux_degree}")
+        if self.eval_scenarios < 0:
+            raise ValueError(
+                f"eval_scenarios must be >= 0, got {self.eval_scenarios}"
+            )
+        if self.pairs < 0:
+            raise ValueError(f"pairs must be >= 0, got {self.pairs}")
+
+
+@dataclass
+class ChurnStats:
+    """Aggregated outcome of one churn run (deterministic for a seed)."""
+
+    arrivals: int = 0
+    established: int = 0
+    blocked: int = 0
+    departures: int = 0
+    batches: int = 0
+    epochs: int = 0
+    peak_connections: int = 0
+    final_connections: int = 0
+    #: Human-readable invariant violations found at epoch boundaries
+    #: (ledger audit findings and mux-vs-ledger spare mismatches).
+    audit_violations: list[str] = field(default_factory=list)
+    #: Merged per-epoch recovery evaluation (empty when disabled).
+    recovery: RecoveryStats = field(default_factory=RecoveryStats)
+
+    @property
+    def blocking_probability(self) -> float:
+        """Fraction of arrivals the network could not admit."""
+        if self.arrivals == 0:
+            return 0.0
+        return self.blocked / self.arrivals
+
+    @property
+    def clean(self) -> bool:
+        """Whether every epoch-boundary invariant check passed."""
+        return not self.audit_violations
+
+    def to_dict(self) -> dict:
+        """Deterministic JSON-ready summary (sorted, seeded values only)."""
+        return {
+            "arrivals": self.arrivals,
+            "established": self.established,
+            "blocked": self.blocked,
+            "blocking_probability": self.blocking_probability,
+            "departures": self.departures,
+            "batches": self.batches,
+            "epochs": self.epochs,
+            "peak_connections": self.peak_connections,
+            "final_connections": self.final_connections,
+            "audit_violations": list(self.audit_violations),
+            "recovery": {
+                "scenarios": self.recovery.scenarios,
+                "failed_primaries": self.recovery.failed_primaries,
+                "fast_recovered": self.recovery.fast_recovered,
+                "mux_failures": self.recovery.mux_failures,
+                "channels_lost": self.recovery.channels_lost,
+                "r_fast": self.recovery.r_fast,
+            },
+        }
+
+
+class ChurnEngine:
+    """Drives one network through one seeded churn run."""
+
+    def __init__(
+        self,
+        network: BCPNetwork,
+        config: ChurnConfig,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        self.network = network
+        self.config = config
+        self.registry = metrics if metrics is not None else get_registry()
+        (
+            self._arrival_rng,
+            self._pair_rng,
+            self._holding_rng,
+            self._eval_rng,
+        ) = spawn_rngs(config.seed, 4)
+        self._c_arrivals = self.registry.counter("churn.arrivals")
+        self._c_established = self.registry.counter("churn.established")
+        self._c_blocked = self.registry.counter("churn.blocked")
+        self._c_departures = self.registry.counter("churn.departures")
+        self._c_batches = self.registry.counter("churn.batches")
+        self._c_violations = self.registry.counter("churn.audit_violations")
+        self._h_latency = self.registry.histogram("churn.establish_latency")
+        self._h_batch = self.registry.histogram("churn.batch_size")
+        self._s_blocking = self.registry.series("churn.blocking")
+        self._s_load = self.registry.series("churn.network_load")
+        self._s_spare = self.registry.series("churn.spare_fraction")
+        self._s_live = self.registry.series("churn.connections")
+        nodes = sorted(network.topology.nodes())
+        if len(nodes) < 2:
+            raise ValueError("churn needs a topology with at least two nodes")
+        self._nodes = nodes
+        self._pool = [self._draw_pair() for _ in range(config.pairs)]
+        self._delay_qos = DelayQoS(slack_hops=config.slack_hops)
+        self._ft_qos = FaultToleranceQoS(
+            num_backups=config.num_backups, mux_degree=config.mux_degree
+        )
+        self._traffic = TrafficSpec(bandwidth=config.bandwidth)
+        # topology.links() is insertion-ordered and identical for any
+        # builder seed, so the scenario sample below is deterministic.
+        self._eval_links = list(network.topology.links())
+        self.stats = ChurnStats()
+        #: Departure heap entries: (time, sequence, connection_id).
+        self._departures: list[tuple[float, int, int]] = []
+        self._departure_seq = 0
+
+    # ------------------------------------------------------------------
+    # seeded draws
+    # ------------------------------------------------------------------
+    def _draw_pair(self) -> tuple:
+        src = self._pair_rng.choice(self._nodes)
+        dst = self._pair_rng.choice(self._nodes)
+        while dst == src:
+            dst = self._pair_rng.choice(self._nodes)
+        return (src, dst)
+
+    def _next_pair(self) -> tuple:
+        if self._pool:
+            return self._pool[self._pair_rng.randrange(len(self._pool))]
+        return self._draw_pair()
+
+    # ------------------------------------------------------------------
+    # the run loop
+    # ------------------------------------------------------------------
+    def run(self) -> ChurnStats:
+        """Run the configured churn process; returns the final stats.
+
+        Events are processed in simulated-time order with a fixed
+        tie-break — epoch boundary, then departure, then arrival — so the
+        trajectory is a pure function of the configuration.
+        """
+        config = self.config
+        duration = config.duration
+        next_arrival = self._arrival_rng.expovariate(config.arrival_rate)
+        if next_arrival > duration:
+            next_arrival = None
+        next_epoch = min(config.epoch_interval, duration)
+        while True:
+            arrival_at = next_arrival if next_arrival is not None else None
+            depart_at = self._departures[0][0] if self._departures else None
+            candidates = [
+                value
+                for value in (arrival_at, depart_at, next_epoch)
+                if value is not None and value <= duration
+            ]
+            if not candidates:
+                break
+            now = min(candidates)
+            if next_epoch is not None and next_epoch <= now:
+                self._run_epoch(next_epoch)
+                boundary = next_epoch + config.epoch_interval
+                if next_epoch >= duration:
+                    next_epoch = None
+                else:
+                    next_epoch = min(boundary, duration)
+                continue
+            if depart_at is not None and depart_at <= now:
+                self._process_departure()
+                continue
+            next_arrival = self._process_arrivals(
+                next_arrival, depart_at, next_epoch
+            )
+        if next_epoch is not None:  # pragma: no cover - loop closes epochs
+            self._run_epoch(next_epoch)
+        self.stats.final_connections = self.network.num_connections
+        return self.stats
+
+    # ------------------------------------------------------------------
+    def _process_arrivals(
+        self,
+        first_at: float,
+        depart_at: "float | None",
+        next_epoch: "float | None",
+    ) -> "float | None":
+        """Admit one arrival batch; returns the next arrival time.
+
+        The batch collects consecutive arrivals within ``batch_window``
+        of the first, stopping early if the next arrival would cross a
+        departure or an epoch boundary (those events must see the network
+        state their timestamps imply).
+        """
+        config = self.config
+        deadline = first_at + config.batch_window
+        batch: list[tuple[float, tuple, float]] = []
+        at = first_at
+        while True:
+            pair = self._next_pair()
+            holding = self._holding_rng.expovariate(1.0 / config.holding_time)
+            batch.append((at, pair, holding))
+            upcoming = at + self._arrival_rng.expovariate(config.arrival_rate)
+            if upcoming > config.duration:
+                upcoming = None
+                break
+            if upcoming > deadline:
+                break
+            if depart_at is not None and upcoming >= depart_at:
+                break
+            if next_epoch is not None and upcoming >= next_epoch:
+                break
+            at = upcoming
+
+        requests = [
+            BatchRequest(
+                src=pair[0],
+                dst=pair[1],
+                traffic=self._traffic,
+                delay_qos=self._delay_qos,
+                ft_qos=self._ft_qos,
+            )
+            for _, pair, _ in batch
+        ]
+        results = self.network.establish_batch(requests)
+        self.stats.arrivals += len(batch)
+        self.stats.batches += 1
+        self._c_arrivals.inc(len(batch))
+        self._c_batches.inc()
+        self._h_batch.record(float(len(batch)))
+        for (arrived_at, _, holding), result in zip(batch, results):
+            if isinstance(result, DConnection):
+                self.stats.established += 1
+                self._c_established.inc()
+                hops = sum(
+                    channel.path.hops for channel in result.channels
+                )
+                self._h_latency.record(config.per_hop_latency * hops)
+                self._departure_seq += 1
+                heapq.heappush(
+                    self._departures,
+                    (
+                        arrived_at + holding,
+                        self._departure_seq,
+                        result.connection_id,
+                    ),
+                )
+            else:
+                self.stats.blocked += 1
+                self._c_blocked.inc()
+        live = self.network.num_connections
+        if live > self.stats.peak_connections:
+            self.stats.peak_connections = live
+        return upcoming
+
+    def _process_departure(self) -> None:
+        _, _, connection_id = heapq.heappop(self._departures)
+        self.network.teardown(connection_id)
+        self.stats.departures += 1
+        self._c_departures.inc()
+
+    # ------------------------------------------------------------------
+    # epoch boundaries
+    # ------------------------------------------------------------------
+    def _run_epoch(self, at: float) -> None:
+        self.stats.epochs += 1
+        violations = self._check_invariants()
+        if violations:
+            self.stats.audit_violations.extend(violations)
+            self._c_violations.inc(len(violations))
+        self._s_blocking.append(at, self.stats.blocking_probability)
+        self._s_load.append(at, self.network.network_load())
+        self._s_spare.append(at, self.network.spare_fraction())
+        self._s_live.append(at, float(self.network.num_connections))
+        if self.config.eval_scenarios > 0:
+            self._evaluate_epoch()
+
+    def _check_invariants(self) -> list[str]:
+        """Ledger audit plus the mux-vs-ledger spare consistency check."""
+        network = self.network
+        violations = [str(finding) for finding in network.ledger.audit()]
+        for link in network.topology.links():
+            required = network.mux.spare_required(link)
+            mirrored = network.ledger.spare_reserved(link)
+            if abs(required - mirrored) > _SPARE_EPSILON:
+                violations.append(
+                    f"link {link}: mux requires {required!r} spare but "
+                    f"ledger mirrors {mirrored!r}"
+                )
+        return violations
+
+    def _evaluate_epoch(self) -> None:
+        """Evaluate a seeded single-link failure sample against the live
+        network (the evaluate-under-churn snapshot).
+
+        The evaluation runs under a private registry; only its *counters*
+        — which are deterministic — are folded into the engine's registry.
+        Its wall-clock scenario timer never reaches the session snapshot,
+        keeping ``--metrics-out`` byte-identical across worker counts.
+        """
+        count = min(self.config.eval_scenarios, len(self._eval_links))
+        links = self._eval_rng.sample(self._eval_links, count)
+        scenarios = [FailureScenario.of_links([link]) for link in links]
+        epoch_seed = self._eval_rng.getrandbits(64)
+        private = MetricsRegistry()
+        stats = evaluate_scenarios(
+            self.network,
+            scenarios,
+            workers=self.config.workers,
+            seed=epoch_seed,
+            metrics=private,
+        )
+        self.stats.recovery = self.stats.recovery.merge(stats)
+        snapshot = private.snapshot()
+        self.registry.absorb(
+            {
+                "schema": SNAPSHOT_SCHEMA,
+                "counters": snapshot["counters"],
+                "gauges": {},
+                "histograms": {},
+                "series": {},
+            }
+        )
+
+
+def run_churn(
+    network: BCPNetwork,
+    config: "ChurnConfig | None" = None,
+    metrics: "MetricsRegistry | None" = None,
+) -> ChurnStats:
+    """Convenience wrapper: run one churn process over ``network``."""
+    engine = ChurnEngine(network, config or ChurnConfig(), metrics=metrics)
+    return engine.run()

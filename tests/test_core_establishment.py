@@ -15,6 +15,7 @@ from repro import (
     TrafficSpec,
     torus,
 )
+from repro.core import BatchRequest
 from repro.routing.shortest import hop_distance
 
 
@@ -304,3 +305,118 @@ class TestSwitchover:
         sibling = connections[1].backups[0]
         for link in sibling.path.links:
             assert torus4.ledger.spare_reserved(link) >= 1.0
+
+
+class TestBatchEstablishment:
+    """establish_batch must match sequential establishment outcomes while
+    sharing routing passes within same-(src, dst, QoS) groups."""
+
+    def make_network(self, capacity=200.0):
+        return BCPNetwork(torus(4, 4, capacity=capacity))
+
+    def run_sequential(self, network, requests):
+        results = []
+        for request in requests:
+            try:
+                results.append(
+                    network.establish(
+                        request.src, request.dst, traffic=request.traffic,
+                        delay_qos=request.delay_qos, ft_qos=request.ft_qos,
+                    )
+                )
+            except EstablishmentError as error:
+                results.append(error)
+        return results
+
+    def assert_equivalent(self, batch_results, sequential_results):
+        # Connection ids are minted group-by-group in batch mode, so they
+        # are not compared; admission outcomes and channel paths are.
+        assert len(batch_results) == len(sequential_results)
+        for got, want in zip(batch_results, sequential_results):
+            if isinstance(want, EstablishmentError):
+                assert isinstance(got, EstablishmentError)
+            else:
+                assert got.primary.path.nodes == want.primary.path.nodes
+                assert [b.path.nodes for b in got.backups] == [
+                    b.path.nodes for b in want.backups
+                ]
+
+    def test_matches_sequential_same_pair(self):
+        requests = [
+            BatchRequest(0, 5, ft_qos=FaultToleranceQoS(num_backups=1))
+            for _ in range(4)
+        ]
+        batch = self.make_network()
+        sequential = self.make_network()
+        self.assert_equivalent(
+            batch.establish_batch(requests),
+            self.run_sequential(sequential, requests),
+        )
+        assert batch.network_load() == sequential.network_load()
+        assert batch.spare_fraction() == sequential.spare_fraction()
+
+    def test_matches_sequential_mixed_pairs(self):
+        requests = [
+            BatchRequest(0, 5),
+            BatchRequest(2, 9, ft_qos=FaultToleranceQoS(num_backups=2)),
+            BatchRequest(0, 5),
+            BatchRequest(11, 3, traffic=TrafficSpec(bandwidth=2.0)),
+            BatchRequest(0, 5, traffic=TrafficSpec(bandwidth=2.0)),
+        ]
+        batch = self.make_network()
+        sequential = self.make_network()
+        self.assert_equivalent(
+            batch.establish_batch(requests),
+            self.run_sequential(sequential, requests),
+        )
+        assert batch.ledger.audit() == []
+
+    def test_matches_sequential_under_saturation(self):
+        # Node 0 has 4 outgoing links of capacity 3; each admitted
+        # connection consumes one primary plus one backup unit of that
+        # budget, so well before 16 same-pair requests the batch must
+        # start failing exactly where sequential admission does.
+        requests = [BatchRequest(0, 1) for _ in range(16)]
+        batch = self.make_network(capacity=3.0)
+        sequential = self.make_network(capacity=3.0)
+        batch_results = batch.establish_batch(requests)
+        self.assert_equivalent(
+            batch_results, self.run_sequential(sequential, requests)
+        )
+        assert any(isinstance(r, EstablishmentError) for r in batch_results)
+        assert batch.ledger.audit() == []
+
+    def test_declarative_requests_admitted_individually(self):
+        qos = FaultToleranceQoS(required_pr=1 - 1e-9, max_backups=2)
+        requests = [BatchRequest(0, 5, ft_qos=qos) for _ in range(2)]
+        batch = self.make_network()
+        sequential = self.make_network()
+        self.assert_equivalent(
+            batch.establish_batch(requests),
+            self.run_sequential(sequential, requests),
+        )
+
+    def test_results_align_with_requests(self):
+        network = self.make_network()
+        requests = [BatchRequest(0, 5), BatchRequest(7, 2), BatchRequest(0, 5)]
+        results = network.establish_batch(requests)
+        assert [(r.source, r.destination) for r in results] == [
+            (0, 5), (7, 2), (0, 5)
+        ]
+        assert network.num_connections == 3
+
+    def test_empty_batch(self):
+        assert self.make_network().establish_batch([]) == []
+
+    def test_bulk_teardown_releases_with_two_version_bumps(self):
+        network = self.make_network()
+        connection = network.establish(
+            0, 5, ft_qos=FaultToleranceQoS(num_backups=2, mux_degree=3)
+        )
+        version = network.ledger.version
+        network.teardown(connection)
+        # One set_spares for all backups + one release_primary_path.
+        assert network.ledger.version == version + 2
+        assert network.network_load() == 0.0
+        assert network.spare_fraction() == 0.0
+        assert network.ledger.audit() == []

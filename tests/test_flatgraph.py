@@ -20,6 +20,7 @@ from repro.obs import MetricsRegistry, obs_session
 from repro.routing import (
     NoPathError,
     RouteConstraints,
+    StaleFlatViewError,
     flat_view,
     hop_distance,
     reference_hop_distance,
@@ -301,6 +302,36 @@ class TestTopologyVersion:
         assert flat_view(topology) is not stale
         assert shortest_path(topology, "a", "c").hops == 1
         assert hop_distance(topology, "a", "c") == 1
+
+    def test_stale_view_search_raises(self):
+        # Holding a FlatTopology across a mutation must fail loudly, not
+        # route on the outdated compiled arrays.
+        topology = torus(3, 3)
+        stale = flat_view(topology)
+        assert stale.search(0, 4, RouteConstraints(), None) is not None
+        topology.add_link(0, 4, 1.0)
+        with pytest.raises(StaleFlatViewError):
+            stale.search(0, 4, RouteConstraints(), None)
+        with pytest.raises(StaleFlatViewError):
+            stale.hop_distance(0, 4)
+        # Re-resolving through flat_view() picks up the new compile.
+        assert flat_view(topology).hop_distance(0, 4) == 1
+
+    def test_identical_query_not_served_stale_after_mutation(self):
+        registry = MetricsRegistry()
+        with obs_session(registry):
+            topology = Topology()
+            topology.add_link("a", "b", 1.0)
+            topology.add_link("b", "c", 1.0)
+            first = shortest_path(topology, "a", "c")
+            assert first.hops == 2
+            topology.add_link("a", "c", 1.0)  # shortcut between old nodes
+            second = shortest_path(topology, "a", "c")
+            assert second.hops == 1
+            # The post-mutation query recompiled and missed — it was not
+            # answered from the pre-mutation cache entry.
+            assert registry.counter("route_cache.hits").value == 0
+            assert registry.counter("route_cache.misses").value == 2
 
     def test_total_capacity_cache_invalidated(self):
         topology = Topology()

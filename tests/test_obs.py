@@ -328,3 +328,103 @@ class TestRecoveryStatsMerge:
         merged = stats.merge(RecoveryStats())
         assert merged.r_fast_mean_of_scenarios is None
         assert merged.excluded_connections == 1
+
+
+class TestSeries:
+    def make(self, max_points=8):
+        from repro.obs import Series
+
+        return Series("test", max_points=max_points)
+
+    def test_append_and_points(self):
+        series = self.make()
+        series.append(1.0, 0.5)
+        series.append(2.0, 0.75)
+        assert series.count == 2
+        assert series.points() == [(1.0, 0.5), (2.0, 0.75)]
+        assert series.last_time == 2.0
+        assert series.last_value == 0.75
+
+    def test_decimation_keeps_first_and_latest(self):
+        series = self.make(max_points=8)
+        for i in range(100):
+            series.append(float(i), float(i) * 2.0)
+        assert series.count == 100
+        points = series.points()
+        assert len(points) <= 8 + 1  # retained buffer + appended latest
+        assert points[0] == (0.0, 0.0)       # first sample survives
+        assert points[-1] == (99.0, 198.0)   # latest always reported
+        times = [time for time, _ in points]
+        assert times == sorted(times)
+
+    def test_summary_shape(self):
+        series = self.make()
+        series.append(3.0, 1.0)
+        summary = series.summary()
+        assert summary == {"count": 1, "points": [[3.0, 1.0]]}
+
+    def test_absorb_preserves_exact_count(self):
+        other = self.make()
+        for i in range(50):
+            other.append(float(i), 1.0)
+        series = self.make()
+        series.append(-1.0, 0.0)
+        series.absorb(other.summary())
+        # Exact count survives even though only the retained subsample
+        # crossed the summary boundary.
+        assert series.count == 51
+        assert series.points()[0] == (-1.0, 0.0)
+        assert series.last_time == 49.0
+
+    def test_registry_series_in_snapshot(self):
+        registry = MetricsRegistry()
+        series = registry.series("churn.blocking")
+        series.append(10.0, 0.1)
+        assert registry.series("churn.blocking") is series
+        snapshot = registry.snapshot()
+        assert snapshot["schema"] == SNAPSHOT_SCHEMA
+        assert snapshot["series"]["churn.blocking"] == {
+            "count": 1, "points": [[10.0, 0.1]],
+        }
+
+    def test_registry_absorb_series(self):
+        source = MetricsRegistry()
+        source.series("s").append(1.0, 2.0)
+        target = MetricsRegistry()
+        target.series("s").append(0.5, 1.0)
+        target.absorb(source.snapshot())
+        assert target.series("s").summary() == {
+            "count": 2, "points": [[0.5, 1.0], [1.0, 2.0]],
+        }
+
+    def test_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.series("name")
+        with pytest.raises(TypeError):
+            registry.counter("name")
+
+    def test_null_registry_series_is_inert(self):
+        series = NULL_REGISTRY.series("anything")
+        series.append(1.0, 2.0)
+        assert NULL_REGISTRY.snapshot()["series"] == {}
+
+    def test_merge_snapshots_concatenates_series(self):
+        from repro.obs import merge_snapshots
+
+        first = MetricsRegistry()
+        first.series("s").append(1.0, 10.0)
+        second = MetricsRegistry()
+        second.series("s").append(2.0, 20.0)
+        second.series("other").append(3.0, 30.0)
+        merged = merge_snapshots([first.snapshot(), second.snapshot()])
+        assert merged["series"]["s"] == {
+            "count": 2, "points": [[1.0, 10.0], [2.0, 20.0]],
+        }
+        assert merged["series"]["other"]["count"] == 1
+
+    def test_merged_series_rendered_in_export(self):
+        registry = MetricsRegistry()
+        registry.series("churn.blocking").append(5.0, 0.25)
+        rendered = format_metrics(registry.snapshot())
+        assert "churn.blocking" in rendered
+        assert "0.25" in rendered

@@ -124,6 +124,24 @@ class TestLossAndRetransmission:
         engine.run()
         assert declared == [LINK]
 
+    def test_give_up_fires_once_per_exhausted_frame(self):
+        # With one message per frame, each queued report exhausts its own
+        # retransmission budget and triggers its own give-up callback.
+        # Deduplicating these into one failure declaration is the
+        # runtime's job (see ProtocolSimulation._on_rcc_give_up), not the
+        # transport's.
+        config = ProtocolConfig(
+            max_retransmissions=1, rcc=RCCParams(max_messages_per_frame=1)
+        )
+        engine, forward, _, _, _ = make_pair(config, up=lambda link: False)
+        declared = []
+        forward.on_give_up = declared.append
+        for i in range(3):
+            forward.send(report(i))
+        engine.run()
+        assert declared == [LINK, LINK, LINK]
+        assert forward.stats.gave_up == 3
+
     def test_give_up_hook_not_fired_on_success(self):
         engine, forward, _, _, _ = make_pair()
         declared = []

@@ -252,3 +252,38 @@ class TestRCCIntegration:
             connection.connection_id
         ].service_disruption
         assert d_fast < d_slow
+
+
+class TestGiveUpDeduplication:
+    """RCC give-up declares a link failure once per outage, not once per
+    frame that exhausts its retransmission budget on that link."""
+
+    def make_simulation(self, single_connection):
+        from repro.obs import MetricsRegistry
+
+        network, connection = single_connection
+        simulation = ProtocolSimulation(network, metrics=MetricsRegistry())
+        link = connection.primary.path.links[1]
+        declared = []
+        simulation.daemons[link.src].on_component_failure = declared.append
+        return simulation, link, declared
+
+    def test_repeated_give_ups_declare_once(self, single_connection):
+        simulation, link, declared = self.make_simulation(single_connection)
+        for _ in range(3):
+            simulation._on_rcc_give_up(link)
+        assert declared == [link]
+
+    def test_repair_rearms_the_declaration(self, single_connection):
+        simulation, link, declared = self.make_simulation(single_connection)
+        simulation._on_rcc_give_up(link)
+        simulation._apply_repair(link)  # clears both directions
+        simulation._on_rcc_give_up(link)
+        assert declared == [link, link]
+
+    def test_down_source_node_suppresses_declaration(self, single_connection):
+        simulation, link, declared = self.make_simulation(single_connection)
+        simulation.failed_components.add(link.src)
+        simulation._on_rcc_give_up(link)
+        assert declared == []
+        assert link not in simulation._suspected_links

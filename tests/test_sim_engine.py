@@ -208,6 +208,24 @@ class TestTimeout:
         with pytest.raises(ValueError):
             Timeout(EventEngine(), 0.0, lambda: None)
 
+    def test_restart_from_own_callback_rearms(self):
+        # A retransmission-style timer restarts itself on expiry; the
+        # handle must be cleared before the callback runs so the restart
+        # schedules a fresh event instead of cancelling itself.
+        engine = EventEngine()
+        fired = []
+
+        def on_expiry():
+            fired.append(engine.now)
+            if len(fired) < 3:
+                timer.start()
+
+        timer = Timeout(engine, 2.0, on_expiry)
+        timer.start()
+        engine.run()
+        assert fired == [2.0, 4.0, 6.0]
+        assert not timer.running
+
 
 class TestPeriodicTimer:
     def test_fires_periodically_until_stopped(self):
@@ -237,3 +255,19 @@ class TestPeriodicTimer:
         engine.schedule(6.0, timer.stop)
         engine.run()
         assert fired == [3.0, 5.0]
+
+    @pytest.mark.parametrize("phase", [-1.0, -0.001, float("nan")])
+    def test_negative_or_nan_phase_rejected(self, phase):
+        timer = PeriodicTimer(EventEngine(), 2.0, lambda: None)
+        with pytest.raises(ValueError):
+            timer.start(phase=phase)
+        assert not timer.running
+
+    def test_zero_phase_fires_immediately_then_periodically(self):
+        engine = EventEngine()
+        fired = []
+        timer = PeriodicTimer(engine, 2.0, lambda: fired.append(engine.now))
+        timer.start(phase=0.0)
+        engine.schedule(5.0, timer.stop)
+        engine.run()
+        assert fired == [0.0, 2.0, 4.0]
