@@ -18,6 +18,17 @@ Options:
     --baseline PATH    baseline file (default benchmarks/BENCH_routing.json)
     --threshold F      allowed relative slowdown (default 0.20)
     --update           rewrite the baseline from RESULTS.json and exit
+    --trajectory PATH  perf-trajectory store appended to after every run
+                       (default benchmarks/TRAJECTORY.jsonl)
+    --no-trajectory    skip the trajectory append
+    --label TEXT       label for the appended trajectory entry
+                       (default: the baseline file's stem)
+
+Every run (compare *and* update) also appends one
+``repro.bench-trajectory/1`` JSON line — the anchor-normalised medians
+under a label — to the trajectory store, so the history of relative
+performance survives baseline rewrites.  Inspect it with
+``python -m repro obs trajectory``.
 """
 
 from __future__ import annotations
@@ -27,8 +38,11 @@ import json
 import sys
 from pathlib import Path
 
-DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "benchmarks" / "BENCH_routing.json"
+BENCHMARKS = Path(__file__).resolve().parent.parent / "benchmarks"
+DEFAULT_BASELINE = BENCHMARKS / "BENCH_routing.json"
+DEFAULT_TRAJECTORY = BENCHMARKS / "TRAJECTORY.jsonl"
 CALIBRATION = "test_calibration_reference_bfs"
+TRAJECTORY_SCHEMA = "repro.bench-trajectory/1"
 
 
 def load_medians(results_path: str) -> dict[str, float]:
@@ -55,6 +69,38 @@ def update_baseline(medians: dict[str, float], baseline_path: Path) -> None:
     print(f"wrote {baseline_path} ({len(medians)} benchmarks)")
 
 
+def normalize(medians: dict[str, float], anchor: str) -> dict[str, float]:
+    """Divide every median by the calibration anchor's (machine-free)."""
+    anchor_median = medians[anchor]
+    return {
+        name: median / anchor_median
+        for name, median in sorted(medians.items())
+        if name != anchor
+    }
+
+
+def append_trajectory(
+    medians: dict[str, float],
+    anchor: str,
+    trajectory_path: Path,
+    label: str,
+) -> None:
+    """Append one ``repro.bench-trajectory/1`` line to the store."""
+    if anchor not in medians:
+        return
+    entry = {
+        "schema": TRAJECTORY_SCHEMA,
+        "label": label,
+        "anchor": anchor,
+        "normalized": normalize(medians, anchor),
+    }
+    trajectory_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(trajectory_path, "a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    print(f"trajectory: appended {label!r} ({len(entry['normalized'])} "
+          f"benchmarks) to {trajectory_path}")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("results", help="pytest-benchmark JSON export")
@@ -62,12 +108,23 @@ def main() -> None:
     parser.add_argument("--threshold", type=float, default=0.20)
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the results")
+    parser.add_argument("--trajectory", default=str(DEFAULT_TRAJECTORY),
+                        help="perf-trajectory store to append to")
+    parser.add_argument("--no-trajectory", action="store_true",
+                        help="skip the trajectory append")
+    parser.add_argument("--label", default=None,
+                        help="trajectory entry label (default: the "
+                             "baseline file's stem)")
     args = parser.parse_args()
 
     medians = load_medians(args.results)
     baseline_path = Path(args.baseline)
+    label = args.label if args.label is not None else baseline_path.stem
     if args.update:
         update_baseline(medians, baseline_path)
+        if not args.no_trajectory:
+            append_trajectory(medians, CALIBRATION,
+                              Path(args.trajectory), f"update:{label}")
         return
 
     with open(baseline_path) as handle:
@@ -99,6 +156,9 @@ def main() -> None:
             )
     for name in sorted(set(medians) - set(base_medians)):
         print(f"  new  {name}: not in baseline (run --update to add)")
+
+    if not args.no_trajectory:
+        append_trajectory(medians, anchor, Path(args.trajectory), label)
 
     if failures:
         print("\nBENCHMARK REGRESSION:")

@@ -26,6 +26,7 @@ from repro.chaos.profiles import DEFAULT_PROFILES, build_schedule
 from repro.channels.qos import FaultToleranceQoS
 from repro.core.bcp import BCPNetwork
 from repro.network.generators import mesh, torus
+from repro.obs.flight import DEFAULT_CAPACITY, FlightRecorder
 from repro.parallel import parallel_map
 from repro.protocol.config import ProtocolConfig
 from repro.protocol.invariants import InvariantAuditor, InvariantViolation
@@ -114,6 +115,11 @@ class ChaosRunResult:
     recovered: int = 0
     unrecoverable: int = 0
     rejoins: int = 0
+    #: Flight-recorder snapshot (``repro.flight/1`` dict) of the last
+    #: events before the first invariant violation; ``None`` for clean
+    #: runs.  Kept out of :meth:`as_dict` — it is dumped as its own
+    #: artifact, next to the shrunk schedule.
+    flight: "dict | None" = field(default=None, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -137,12 +143,25 @@ def run_schedule(
     network: BCPNetwork,
     config: "ProtocolConfig | None" = None,
     metrics=None,
+    trace_log=None,
+    flight_capacity: int = DEFAULT_CAPACITY,
 ) -> ChaosRunResult:
-    """Execute one schedule against a fresh runtime and audit it."""
+    """Execute one schedule against a fresh runtime and audit it.
+
+    A :class:`~repro.obs.flight.FlightRecorder` rides along on every
+    run; when the auditor records violations, the result carries the
+    recorder's snapshot (the last ``flight_capacity`` trace events plus
+    trailing spans) as a replayable diagnosis artifact.  ``trace_log``
+    overrides the runtime's trace sink (see
+    :class:`~repro.protocol.runtime.ProtocolSimulation`).
+    """
     config = config or ProtocolConfig()
     simulation = ProtocolSimulation(
-        network, config, seed=schedule.seed, metrics=metrics
+        network, config, seed=schedule.seed, metrics=metrics,
+        trace_log=trace_log,
     )
+    recorder = FlightRecorder(capacity=flight_capacity)
+    recorder.attach(simulation.trace)
     auditor = InvariantAuditor(simulation)
     auditor.attach()
     engine = simulation.engine
@@ -199,6 +218,18 @@ def run_schedule(
         )
     auditor.check_quiescent(drained=drained and not aborted)
     auditor.detach()
+    recorder.detach()
+    flight = None
+    if auditor.violations:
+        flight = recorder.snapshot(
+            reason="invariant-violation",
+            spans=simulation.spans,
+            context={
+                "seed": schedule.seed,
+                "horizon": schedule.horizon,
+                "violations": [v.as_dict() for v in auditor.violations],
+            },
+        )
     materialized.sort(key=lambda event: event.time)
     return ChaosRunResult(
         schedule=schedule,
@@ -209,6 +240,7 @@ def run_schedule(
         recovered=simulation.metrics.recovered_count(),
         unrecoverable=simulation.metrics.unrecoverable,
         rejoins=simulation.metrics.rejoins,
+        flight=flight,
     )
 
 

@@ -11,6 +11,10 @@ Examples::
         --repair-at "40:link:0->1"              # explicit timed injection
     python -m repro chaos --seed 0 --campaign-size 25   # invariant audit
     python -m repro chaos --replay chaos-seed0-run3.json
+    python -m repro chaos --trace-out spans.jsonl \
+        --slo "protocol.recovery_delay.p99 <= gamma"
+    python -m repro obs episodes --input spans.jsonl    # Γ breakdown
+    python -m repro obs trajectory                      # perf history
     python -m repro all --rows 4 --cols 4       # quick full sweep
 
 Every subcommand prints the regenerated table (same rows as the paper)
@@ -302,6 +306,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "(0 = fresh pair per arrival; default 64)")
     churn.add_argument("--stats-out", metavar="PATH", default=None,
                        help="write the deterministic churn stats as JSON")
+    churn.add_argument("--slo", metavar="SPEC", action="append", default=[],
+                       help="SLO target evaluated at every epoch boundary, "
+                            "e.g. 'churn.establish_latency.p99 <= 0.02' "
+                            "(repeatable; any breach exits 1)")
 
     chaos = subparsers.add_parser(
         "chaos", help="run a seeded chaos campaign with the protocol "
@@ -330,6 +338,39 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--replay", metavar="ARTIFACT", default=None,
                        help="re-execute a saved repro.chaos/1 artifact "
                             "instead of running a campaign")
+    chaos.add_argument("--slo", metavar="SPEC", action="append", default=[],
+                       help="SLO target evaluated against the campaign's "
+                            "metrics, e.g. 'protocol.recovery_delay.p99 <= "
+                            "gamma' — 'gamma' resolves to the network's "
+                            "worst-case analytic recovery bound "
+                            "(repeatable; any breach exits 1)")
+
+    obs = subparsers.add_parser(
+        "obs", help="offline observability: reconstruct recovery episodes "
+                    "from a span stream, evaluate SLOs against a metrics "
+                    "snapshot, inspect the benchmark trajectory store")
+    obs.add_argument("action", choices=("episodes", "slo", "trajectory"),
+                     help="episodes: fold a --trace-out JSONL into "
+                          "per-failure recovery episodes with the delay "
+                          "breakdown and Γ-bound verdicts; slo: evaluate "
+                          "--slo targets against a repro.metrics/1 "
+                          "snapshot; trajectory: print the benchmark "
+                          "perf-trajectory store")
+    obs.add_argument("--input", metavar="PATH", default=None,
+                     help="input file: span/trace JSONL for 'episodes', "
+                          "repro.metrics/1 JSON for 'slo', trajectory "
+                          "JSONL for 'trajectory' (default "
+                          "benchmarks/TRAJECTORY.jsonl)")
+    obs.add_argument("--episodes-out", metavar="PATH", default=None,
+                     help="also write the reconstructed episodes as "
+                          "deterministic JSON lines (episodes action)")
+    obs.add_argument("--slo", metavar="SPEC", action="append", default=[],
+                     help="SLO target, e.g. "
+                          "'protocol.recovery_delay.p99 <= gamma' "
+                          "(repeatable; slo action)")
+    obs.add_argument("--gamma", type=float, default=None,
+                     help="value for the symbolic 'gamma' threshold "
+                          "(slo action)")
 
     # Observability and execution flags are global: every subcommand
     # exports the same way (the whole run records into one session
@@ -412,6 +453,7 @@ def _run_churn(args: argparse.Namespace) -> tuple[str, int]:
         eval_scenarios=args.eval_scenarios,
         pairs=args.pairs,
         workers=args.workers,
+        slos=tuple(args.slo),
     )
     network = BCPNetwork(config.build())
     engine = ChurnEngine(network, churn_config)
@@ -448,6 +490,18 @@ def _run_churn(args: argparse.Namespace) -> tuple[str, int]:
         )
         lines.extend(f"  {finding}" for finding in stats.audit_violations)
         code = 1
+    if churn_config.slos:
+        if stats.slo_breaches:
+            lines.append(
+                f"SLOs BREACHED ({len(stats.slo_breaches)} findings):"
+            )
+            lines.extend(f"  {finding}" for finding in stats.slo_breaches)
+            code = 1
+        else:
+            lines.append(
+                f"SLOs: all {len(churn_config.slos)} target(s) met at "
+                f"every epoch boundary"
+            )
     lines.append("")
     lines.append(format_metrics(get_registry().snapshot(),
                                 title="Churn metrics"))
@@ -462,7 +516,9 @@ def _format_violations(violations) -> list[str]:
 
 
 def _run_chaos(args: argparse.Namespace) -> tuple[str, int]:
-    """Chaos campaign / artifact replay; exit code 1 on any violation."""
+    """Chaos campaign / artifact replay; exit code 1 on any violation
+    or SLO breach."""
+    import json
     import os
 
     from repro.chaos import (
@@ -527,6 +583,50 @@ def _run_chaos(args: argparse.Namespace) -> tuple[str, int]:
         f"rejoins: {summary['rejoins']}; "
         f"undrained: {summary['undrained']}",
     ]
+    # Campaign-level SLOs: evaluated against the session registry (all
+    # per-run registries are folded into it by the campaign's ordered
+    # merge).  The symbolic 'gamma' threshold resolves to the network's
+    # worst-case analytic recovery bound.
+    slo_lines: list[str] = []
+    slo_breaches = []
+    if args.slo:
+        from repro.analysis.delay import connection_delay_bound
+        from repro.obs import SLOEngine, format_results
+
+        gamma = max(
+            (connection_delay_bound(connection, config.rcc.max_delay)
+             for connection in network.connections()),
+            default=0.0,
+        )
+        slo_results = SLOEngine(args.slo).evaluate(
+            get_registry().snapshot(), constants={"gamma": gamma}
+        )
+        slo_breaches = [r for r in slo_results if r.ok is False]
+        slo_lines = ["", format_results(
+            slo_results, title=f"Campaign SLOs (gamma = {gamma:g})")]
+        if slo_breaches:
+            os.makedirs(args.artifact_dir, exist_ok=True)
+            flight_path = os.path.join(
+                args.artifact_dir, f"flight-seed{args.seed}-slo.json")
+            from repro.obs import FLIGHT_SCHEMA
+
+            with open(flight_path, "w") as handle:
+                json.dump({
+                    "schema": FLIGHT_SCHEMA,
+                    "reason": "slo-breach",
+                    "capacity": 0,
+                    "events": [],
+                    "spans": [],
+                    "context": {
+                        "seed": args.seed,
+                        "gamma": gamma,
+                        "breaches": [r.to_dict() for r in slo_breaches],
+                        "summary": summary,
+                    },
+                }, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            slo_lines.append(f"SLO breach artifact -> {flight_path}")
+
     failing = [
         (index, result)
         for index, result in enumerate(results)
@@ -534,7 +634,8 @@ def _run_chaos(args: argparse.Namespace) -> tuple[str, int]:
     ]
     if not failing:
         lines.append("invariants: all runs clean")
-        return "\n".join(lines), 0
+        lines.extend(slo_lines)
+        return "\n".join(lines), (1 if slo_breaches else 0)
     lines.append(
         f"invariants VIOLATED in {len(failing)}/{summary['runs']} runs: "
         + ", ".join(
@@ -557,11 +658,122 @@ def _run_chaos(args: argparse.Namespace) -> tuple[str, int]:
             f"in {shrunk.runs} replays -> {path}"
         )
         lines.extend(_format_violations(shrunk.violations))
+        # The flight recording (last trace events + spans before the
+        # violation) rides next to the shrunk schedule.
+        if result.flight is not None:
+            flight_path = os.path.join(
+                args.artifact_dir,
+                f"flight-seed{args.seed}-run{index}.json",
+            )
+            with open(flight_path, "w") as handle:
+                json.dump(result.flight, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            lines.append(f"  flight recording -> {flight_path}")
     skipped = len(failing) - min(len(failing), args.max_artifacts)
     if skipped:
         lines.append(f"({skipped} further failing runs not shrunk; "
                      f"raise --max-artifacts to export them)")
+    lines.extend(slo_lines)
     return "\n".join(lines), 1
+
+
+def _run_obs(args: argparse.Namespace) -> tuple[str, int]:
+    """Offline observability actions — no simulation is run."""
+    import json
+
+    if args.action == "episodes":
+        from repro.obs import EpisodeReconstructor
+
+        if not args.input:
+            raise SystemExit("repro obs episodes requires --input "
+                             "(a --trace-out JSONL containing spans)")
+        reconstructor = EpisodeReconstructor().add_file(args.input)
+        summary = reconstructor.summary()
+        lines = [
+            f"repro obs episodes — {args.input}: "
+            f"{summary['episodes']} episode(s); "
+            f"{summary['recovered']} recovered, "
+            f"{summary['unrecoverable']} unrecoverable, "
+            f"{summary['unresolved']} unresolved"
+            + (f"; worst disruption {summary['max_total']:.3f}"
+               if summary["max_total"] is not None else ""),
+            "",
+            reconstructor.format_table(),
+        ]
+        if args.episodes_out:
+            with open(args.episodes_out, "w") as handle:
+                for episode in reconstructor.episodes:
+                    handle.write(
+                        json.dumps(episode.to_dict(), sort_keys=True) + "\n"
+                    )
+            lines.append(f"episodes written to {args.episodes_out}")
+        violations = reconstructor.violations()
+        if violations:
+            lines.append(
+                f"Γ BOUND VIOLATED by {len(violations)} episode(s): "
+                + ", ".join(
+                    f"episode {e.span_id} "
+                    f"({e.gamma:.3f} > {e.bound:.3f})"
+                    for e in violations
+                )
+            )
+            return "\n".join(lines), 1
+        if summary["recovered"]:
+            lines.append("Γ bound respected by every recovered episode")
+        return "\n".join(lines), 0
+
+    if args.action == "slo":
+        from repro.obs import SLOEngine, format_results
+
+        if not args.input:
+            raise SystemExit("repro obs slo requires --input "
+                             "(a repro.metrics/1 snapshot)")
+        if not args.slo:
+            raise SystemExit("repro obs slo requires at least one "
+                             "--slo SPEC")
+        with open(args.input) as handle:
+            snapshot = json.load(handle)
+        constants = {} if args.gamma is None else {"gamma": args.gamma}
+        results = SLOEngine(args.slo).evaluate(snapshot,
+                                               constants=constants)
+        breached = any(result.ok is False for result in results)
+        return (
+            format_results(results, title=f"SLOs — {args.input}"),
+            1 if breached else 0,
+        )
+
+    # action == "trajectory"
+    from repro.util.tables import format_table
+
+    path = args.input or "benchmarks/TRAJECTORY.jsonl"
+    try:
+        with open(path) as handle:
+            entries = [json.loads(line) for line in handle
+                       if line.strip()]
+    except FileNotFoundError:
+        raise SystemExit(f"trajectory store not found: {path}") from None
+    if not entries:
+        return f"repro obs trajectory — {path}: empty store", 0
+    benches = sorted({
+        name for entry in entries for name in entry.get("normalized", {})
+    })
+    labels = [
+        str(entry.get("label", f"entry{index}"))
+        for index, entry in enumerate(entries)
+    ]
+    rows = []
+    for bench in benches:
+        row: list[str] = [bench]
+        for entry in entries:
+            value = entry.get("normalized", {}).get(bench)
+            row.append(f"{value:.4f}" if value is not None else "-")
+        rows.append(row)
+    table = format_table(
+        ["bench"] + labels, rows,
+        title=f"Benchmark trajectory — {path} "
+              f"(medians normalised by the calibration anchor)",
+    )
+    return table, 0
 
 
 def _run_command(args: argparse.Namespace) -> "str | tuple[str, int]":
@@ -629,6 +841,8 @@ def _run_command(args: argparse.Namespace) -> "str | tuple[str, int]":
         return _run_churn(args)
     if args.command == "chaos":
         return _run_chaos(args)
+    if args.command == "obs":
+        return _run_obs(args)
     if args.command == "all":
         sections = []
         for backups in (1, 2):

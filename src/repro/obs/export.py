@@ -18,6 +18,7 @@ used by ``python -m repro stats``.
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 
 from repro.obs.registry import MetricsRegistry
@@ -45,6 +46,16 @@ def write_trace(trace, path: "Path | str") -> Path:
     target = Path(path)
     target.write_text(trace.to_jsonl())
     return target
+
+
+def _series_quantile(summary: dict, q: float) -> "float | None":
+    """Nearest-rank quantile over a series summary's retained point
+    values (mirrors :meth:`repro.obs.registry.Series.quantile`)."""
+    values = sorted(point[1] for point in summary.get("points") or [])
+    if not values:
+        return None
+    rank = max(0, math.ceil(q * len(values)) - 1)
+    return values[min(rank, len(values) - 1)]
 
 
 def _fmt(value) -> str:
@@ -83,8 +94,12 @@ def format_metrics(snapshot: dict, title: "str | None" = None) -> str:
     series = snapshot.get("series", {})
     if series:
         parts.append(format_table(
-            ["series", "count", "points", "last time", "last value"],
+            ["series", "count", "points", "p50", "p95", "p99",
+             "last time", "last value"],
             [[name, s["count"], len(s["points"]),
+              _fmt(_series_quantile(s, 0.50)),
+              _fmt(_series_quantile(s, 0.95)),
+              _fmt(_series_quantile(s, 0.99)),
               _fmt(s["points"][-1][0] if s["points"] else None),
               _fmt(s["points"][-1][1] if s["points"] else None)]
              for name, s in sorted(series.items())],

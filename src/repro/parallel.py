@@ -127,7 +127,7 @@ def _shard_stats(
     evaluator = _make_evaluator(shared, shard_seed, registry)
     with obs_session(registry, trace):
         stats = evaluator.evaluate_many(scenarios)
-    return index, stats, registry.snapshot(), trace.events
+    return index, stats, registry.snapshot(), trace.events, trace.spans.spans
 
 
 def _shard_groups(
@@ -140,7 +140,7 @@ def _shard_groups(
         groups = evaluate_grouped(
             shared["network"], evaluator, scenarios, shared["key"]
         )
-    return index, groups, registry.snapshot(), trace.events
+    return index, groups, registry.snapshot(), trace.events, trace.spans.spans
 
 
 def _pool_shard_stats(index: int, scenarios: list, shard_seed: int) -> tuple:
@@ -156,22 +156,27 @@ def _map_one(func: Callable, item: object) -> tuple:
     trace = TraceLog()
     with obs_session(registry, trace):
         result = func(item)
-    return result, registry.snapshot(), trace.events
+    return result, registry.snapshot(), trace.events, trace.spans.spans
 
 
-def _replay_trace(sink, events) -> None:
-    """Append a shard's captured trace events to the caller's sink.
+def _replay_trace(sink, events, spans=()) -> None:
+    """Append a shard's captured trace events (and spans) to the caller's
+    sink.
 
     Each shard records into a private :class:`TraceLog` (worker *or*
     inline — same capture either way), and the parent replays the events
     in shard order, so the session trace is identical for any worker
-    count.
+    count.  Captured spans are absorbed the same way — span ids are
+    remapped in merge order (see :meth:`repro.obs.spans.SpanLog.absorb`),
+    so span streams are also worker-count invariant.
     """
     if sink is None:
         return
     for event in events:
         sink.record(event.time, event.category, event.node,
                     event.description)
+    if spans:
+        sink.spans.absorb(spans)
 
 
 # ----------------------------------------------------------------------
@@ -262,10 +267,10 @@ def _run_sharded(
                 outputs = [future.result() for future in futures]
     outputs.sort(key=lambda output: output[0])
     sink = get_trace_sink()
-    for _, _, snapshot, events in outputs:
+    for _, _, snapshot, events, spans in outputs:
         registry.absorb(snapshot)
-        _replay_trace(sink, events)
-    return [payload_part for _, payload_part, _, _ in outputs]
+        _replay_trace(sink, events, spans)
+    return [payload_part for _, payload_part, _, _, _ in outputs]
 
 
 def evaluate_scenarios(
@@ -378,8 +383,8 @@ def parallel_map(
             outputs = [future.result() for future in futures]
     sink = get_trace_sink()
     results = []
-    for result, snapshot, events in outputs:
+    for result, snapshot, events, spans in outputs:
         registry.absorb(snapshot)
-        _replay_trace(sink, events)
+        _replay_trace(sink, events, spans)
         results.append(result)
     return results

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.network.components import LinkId, NodeId
 from repro.obs.registry import get_registry
+from repro.obs.spans import NULL_SPAN_LOG
 from repro.protocol.config import SwitchingScheme
 from repro.protocol.messages import (
     ActivationMessage,
@@ -98,6 +99,11 @@ class BCPDaemon:
         self._c_detections = obs.counter("protocol.detections")
         self._c_reports = obs.counter("protocol.reports_sent")
         self._c_received = obs.counter("protocol.messages_received")
+        # Causal span log shared with the runtime (stub runtimes without
+        # .spans get the inert one).  Note: an *empty* SpanLog is falsy
+        # (it has __len__), so this must be a None check, not ``or``.
+        spans = getattr(runtime, "spans", None)
+        self._spans = spans if spans is not None else NULL_SPAN_LOG
 
     # ------------------------------------------------------------------
     # registration (channel establishment has already happened; the
@@ -142,6 +148,16 @@ class BCPDaemon:
     def _trace(self, category: str, description: str) -> None:
         self.runtime.trace.record(
             self.runtime.engine.now, category, self.node, description
+        )
+
+    def _span_point(self, kind: str, connection_id: int,
+                    **attrs: object) -> None:
+        """Record an instantaneous span attached to the connection's open
+        recovery episode (callers guard on ``self._spans.enabled``)."""
+        self._spans.point(
+            kind, self.runtime.engine.now,
+            parent=self.runtime.episode_parent(connection_id),
+            node=str(self.node), connection=connection_id, **attrs,
         )
 
     def _send(self, next_hop: NodeId, message: ControlMessage) -> None:
@@ -243,6 +259,12 @@ class BCPDaemon:
                 f"channel {record.channel_id} lost its {side.value} "
                 f"component {component}",
             )
+            if self._spans.enabled:
+                self._span_point(
+                    "detect", record.connection_id,
+                    channel=record.channel_id, side=side.value,
+                    component=str(component),
+                )
         elif record.state is LocalChannelState.NON_EXISTENT:
             return
         scheme = self._config.scheme
@@ -282,6 +304,12 @@ class BCPDaemon:
                 f"failure report for channel {record.channel_id} "
                 f"{direction.value} via {next_hop}",
             )
+            if self._spans.enabled:
+                self._span_point(
+                    "report-hop", record.connection_id,
+                    channel=record.channel_id, direction=direction.value,
+                    via=str(next_hop),
+                )
             self._send(next_hop, report)
 
     # ------------------------------------------------------------------
@@ -326,6 +354,12 @@ class BCPDaemon:
             self._end_node_learns_failure(record, report)
         else:
             self._c_reports.inc()
+            if self._spans.enabled:
+                self._span_point(
+                    "report-hop", record.connection_id,
+                    channel=record.channel_id,
+                    direction=report.direction.value, via=str(next_hop),
+                )
             self._send(next_hop, report)
 
     def _end_node_learns_failure(
@@ -343,6 +377,11 @@ class BCPDaemon:
         self.runtime.metrics.note_endpoint_informed(
             record.connection_id, record.channel_id, self.runtime.engine.now
         )
+        if self._spans.enabled:
+            self._span_point(
+                "informed", record.connection_id,
+                channel=record.channel_id, role=view.role,
+            )
         if view.role == "source":
             # Soft-state repair attempt (Section 4.4): probe the failed
             # channel's path now and periodically while it stays
@@ -372,6 +411,13 @@ class BCPDaemon:
             self.runtime.metrics.note_unrecoverable(
                 view.connection_id, self.runtime.engine.now, self.node
             )
+            if self._spans.enabled:
+                self._span_point("unrecoverable", view.connection_id,
+                                 role=view.role)
+                self.runtime.end_episode(
+                    view.connection_id, self.runtime.engine.now,
+                    outcome="unrecoverable",
+                )
             if view.role == "source":
                 # Section 4.4: all channels lost — fall back to building a
                 # new primary from scratch (if the runtime allows it).
@@ -401,6 +447,11 @@ class BCPDaemon:
             f"activating backup serial {backup.serial} of connection "
             f"{view.connection_id}",
         )
+        if self._spans.enabled:
+            self._span_point(
+                "activate", view.connection_id,
+                serial=backup.serial, role=view.role,
+            )
         record = self.records[backup.channel_id]
         direction = (
             Direction.TO_DESTINATION if view.role == "source"
@@ -452,6 +503,9 @@ class BCPDaemon:
             self.runtime.metrics.note_source_resumed(
                 record.connection_id, record.serial, self.runtime.engine.now
             )
+            if self._spans.enabled:
+                self._span_point("resumed", record.connection_id,
+                                 serial=record.serial)
         if not record.is_destination:
             if not self._draw_or_mux_fail(record):
                 return
@@ -485,6 +539,11 @@ class BCPDaemon:
         self.runtime.metrics.note_mux_failure(
             record.connection_id, record.channel_id, link, self.runtime.engine.now
         )
+        if self._spans.enabled:
+            self._span_point(
+                "mux-failure", record.connection_id,
+                channel=record.channel_id, link=str(link),
+            )
         self._emit_report(record, Direction.TO_SOURCE, link, mux_failure=True)
         self._emit_report(record, Direction.TO_DESTINATION, link, mux_failure=True)
         return False
@@ -633,6 +692,9 @@ class BCPDaemon:
             self.runtime.metrics.note_rejoined(
                 record.connection_id, record.channel_id, self.runtime.engine.now
             )
+            if self._spans.enabled:
+                self._span_point("rejoined", record.connection_id,
+                                 channel=record.channel_id)
             return
         self._send(record.upstream, message)
 

@@ -253,6 +253,7 @@ class ProtocolSimulation:
         seed: "int | None" = 0,
         trace: bool = False,
         metrics: "MetricsRegistry | None" = None,
+        trace_log: "TraceLog | None" = None,
     ) -> None:
         self.network = network
         self.config = config or ProtocolConfig()
@@ -263,9 +264,18 @@ class ProtocolSimulation:
         self.metrics = ProtocolMetrics(self.obs)
         # When the session has a shared trace sink (e.g. the CLI's
         # --trace-out), record straight into it so the whole run exports
-        # as one timeline; otherwise keep a private per-run log.
-        sink = get_trace_sink()
-        self.trace = sink if sink is not None else TraceLog(enabled=trace)
+        # as one timeline; otherwise keep a private per-run log.  An
+        # explicitly passed ``trace_log`` wins over both.
+        if trace_log is not None:
+            self.trace = trace_log
+        else:
+            sink = get_trace_sink()
+            self.trace = sink if sink is not None else TraceLog(enabled=trace)
+        #: Causal span log shared with the trace log; recovery episodes
+        #: and their child spans land here (see repro.obs.spans).
+        self.spans = self.trace.spans
+        #: connection id -> open ``episode`` span id.
+        self._episode_spans: dict[int, int] = {}
         self.failed_components: set = set()
 
         rng = make_rng(seed)
@@ -282,6 +292,7 @@ class ProtocolSimulation:
                 deliver=self._make_deliver(link.dst),
                 seed=rng.getrandbits(64),
                 metrics=self.obs,
+                spans=self.spans,
             )
         for link, rcc in self._rcc.items():
             reverse = self._rcc.get(link.reversed())
@@ -502,6 +513,18 @@ class ProtocolSimulation:
                 f"connection {connection_id} fully active on backup "
                 f"serial {serial}",
             )
+            if self.spans.enabled:
+                record = self.metrics.recoveries.get(connection_id)
+                if record is not None and record.recovered_serial == serial:
+                    # The episode ends when the *source* resumed service
+                    # (the paper's Γ endpoint), which precedes the final
+                    # hop's draw completing here.
+                    resumed = record.attempts.get(serial, self.engine.now)
+                    self.end_episode(
+                        connection_id, resumed,
+                        outcome="recovered", serial=serial,
+                        completed=self.engine.now,
+                    )
             # The activated channel's bandwidth is now dedicated to it
             # (spare converted to primary, Section 4.4).
             self._owned_links.setdefault(channel_id, set()).update(drawn_links)
@@ -645,6 +668,41 @@ class ProtocolSimulation:
         )
 
     # ------------------------------------------------------------------
+    # recovery-episode spans
+    # ------------------------------------------------------------------
+    def _begin_episode(self, connection_id: int, component, now: float) -> None:
+        """Open the connection's ``episode`` span (first failure wins).
+
+        The span carries the connection's (K, b, D_max) configuration so
+        an offline reader can check the episode against the analytic Γ
+        bound without the network object.
+        """
+        if not self.spans.enabled or connection_id in self._episode_spans:
+            return
+        connection = self.network.connection(connection_id)
+        self._episode_spans[connection_id] = self.spans.begin(
+            "episode", now,
+            connection=connection_id,
+            component=str(component),
+            k_hops=max(ch.path.hops for ch in connection.channels),
+            num_backups=max(1, connection.num_backups),
+            d_max=self.config.rcc.max_delay,
+            detection_delay=self.config.detection_delay,
+        )
+
+    def episode_parent(self, connection_id: int) -> "int | None":
+        """The open episode span id for a connection, if any — daemons
+        attach their detect/report/activate spans under it."""
+        return self._episode_spans.get(connection_id)
+
+    def end_episode(self, connection_id: int, t_end: float,
+                    **attrs: object) -> None:
+        """Close the connection's open episode span (no-op when none)."""
+        span_id = self._episode_spans.pop(connection_id, None)
+        if span_id is not None:
+            self.spans.end(span_id, t_end, **attrs)
+
+    # ------------------------------------------------------------------
     # failure and repair injection
     # ------------------------------------------------------------------
     def fail(self, component, at: float) -> None:
@@ -670,6 +728,9 @@ class ProtocolSimulation:
                 self.heartbeats.on_node_repaired(component)
         self.trace.record(self.engine.now, "repair", component,
                           "component repaired")
+        if self.spans.enabled:
+            self.spans.point("repair", self.engine.now,
+                             component=str(component))
 
     def inject_scenario(self, scenario: FailureScenario, at: float) -> None:
         """Crash every component of ``scenario`` at time ``at``."""
@@ -684,6 +745,8 @@ class ProtocolSimulation:
         self.failed_components.add(component)
         now = self.engine.now
         self.trace.record(now, "failure", component, "component crashed")
+        if self.spans.enabled:
+            self.spans.point("failure", now, component=str(component))
         if not isinstance(component, LinkId):
             # A dead node holds no timers and transmits nothing: disarm its
             # rejoin/probe timers and halt every outgoing RCC so events
@@ -708,6 +771,18 @@ class ProtocolSimulation:
             self.metrics.note_primary_failed(
                 channel.connection_id, now, endpoint_failed
             )
+            self._begin_episode(channel.connection_id, component, now)
+            if self.spans.enabled:
+                # A failure landing while recovery is already in flight
+                # shows up as a child of the open episode, so the offline
+                # Γ check can date its clock from the *latest* triggering
+                # failure rather than the first.
+                self.spans.point(
+                    "primary-failed", now,
+                    parent=self.episode_parent(channel.connection_id),
+                    connection=channel.connection_id,
+                    component=str(component),
+                )
         # Detection: with heartbeats it is emergent (missed beats); the
         # paper's default assumes an external detector informing the
         # neighbours after `detection_delay`.
@@ -732,7 +807,12 @@ class ProtocolSimulation:
     # ------------------------------------------------------------------
     def run(self, until: float | None = None) -> float:
         """Run the event loop; returns the final simulation time."""
-        return self.engine.run(until=until)
+        if not self.spans.enabled:
+            return self.engine.run(until=until)
+        span = self.spans.begin("run", self.engine.now, until=until)
+        final = self.engine.run(until=until)
+        self.spans.end(span, final, events=self.engine.events_processed)
+        return final
 
 
 def simulate_scenario(

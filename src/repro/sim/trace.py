@@ -23,6 +23,8 @@ import json
 from collections.abc import Collection, Iterable, Iterator
 from dataclasses import dataclass, field
 
+from repro.obs.spans import Span, SpanLog
+
 
 @dataclass(frozen=True, slots=True)
 class TraceEvent:
@@ -61,6 +63,18 @@ class TraceLog:
     #: trace-triggered injections, the invariant auditor) need the stream,
     #: not the storage.
     listeners: list = field(default_factory=list, repr=False)
+    #: Causal spans recorded alongside the flat event stream (see
+    #: :mod:`repro.obs.spans`).  Created in ``__post_init__`` with the
+    #: same enabled state as the log itself.
+    spans: "SpanLog | None" = None
+    #: Sticky view filter installed by :meth:`set_filter`; applied by
+    #: :meth:`view`, :meth:`tail`, and :meth:`format` even to events
+    #: recorded before the filter was set.
+    _view_filter: "dict | None" = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.spans is None:
+            self.spans = SpanLog(enabled=self.enabled)
 
     def record(self, time: float, category: str, node: object,
                description: str) -> None:
@@ -115,6 +129,52 @@ class TraceLog:
             selected = (e for e in selected if e.time <= until)
         return list(selected)
 
+    def set_filter(
+        self,
+        category: "str | Collection[str] | None" = None,
+        node: object = None,
+        kind: "str | Collection[str] | None" = None,
+    ) -> None:
+        """Install a sticky view filter.
+
+        The filter applies retroactively: :meth:`view`, :meth:`tail`,
+        and :meth:`format` all select from the *full* event history, so
+        a filter set after events were recorded still narrows them
+        consistently.  ``kind`` filters the span view (:meth:`view_spans`)
+        by span kind.  Call :meth:`clear_filter` to remove it.
+        """
+        if category is None and node is None and kind is None:
+            self._view_filter = None
+            return
+        self._view_filter = {"category": category, "node": node,
+                             "kind": kind}
+
+    def clear_filter(self) -> None:
+        """Remove the sticky view filter installed by :meth:`set_filter`."""
+        self._view_filter = None
+
+    def view(self) -> list[TraceEvent]:
+        """Events as seen through the sticky filter (all events when no
+        filter is set), in recording order."""
+        if self._view_filter is None:
+            return list(self.events)
+        return self.filter(category=self._view_filter["category"],
+                           node=self._view_filter["node"])
+
+    def view_spans(self) -> "list[Span]":
+        """Spans as seen through the sticky filter's ``kind`` criterion
+        (all spans when no filter / no kind is set), in emission order."""
+        if self._view_filter is None:
+            return list(self.spans.spans)
+        return self.spans.filter(kind=self._view_filter["kind"])
+
+    def tail(self, n: int) -> list[TraceEvent]:
+        """The last ``n`` events of the (filtered) view, in recording
+        order.  Unlike slicing :attr:`events` directly, this respects a
+        filter installed after the events were recorded."""
+        rows = self.view()
+        return rows[-n:] if n else []
+
     def categories(self) -> dict[str, int]:
         """Event counts per category."""
         counts: dict[str, int] = {}
@@ -129,20 +189,21 @@ class TraceLog:
         if limit is not None and tail is not None:
             raise ValueError("pass at most one of limit and tail")
         lines: list[str] = []
-        rows = self.events
+        selected = self.view()
+        rows = selected
         if tail is not None:
-            rows = self.events[-tail:] if tail else []
-            if len(self.events) > len(rows):
-                lines.append(f"... ({len(self.events) - len(rows)} earlier)")
+            rows = selected[-tail:] if tail else []
+            if len(selected) > len(rows):
+                lines.append(f"... ({len(selected) - len(rows)} earlier)")
         elif limit is not None:
-            rows = self.events[:limit]
+            rows = selected[:limit]
         lines.extend(
             f"[{event.time:10.3f}] {event.category:<12} "
             f"@{event.node}: {event.description}"
             for event in rows
         )
-        if limit is not None and len(self.events) > limit:
-            lines.append(f"... ({len(self.events) - limit} more)")
+        if limit is not None and len(selected) > limit:
+            lines.append(f"... ({len(selected) - limit} more)")
         return "\n".join(lines)
 
     # ------------------------------------------------------------------
@@ -152,8 +213,15 @@ class TraceLog:
 
     def to_jsonl(self) -> str:
         """The log as JSONL (one compact JSON object per line, trailing
-        newline; empty string for an empty log)."""
+        newline; empty string for an empty log).
+
+        Event rows (``repro.trace/1``) come first, then span rows
+        (``repro.spans/1``, identified by their ``span`` key) — one
+        stream a reader can split by key.
+        """
         lines = [json.dumps(row, sort_keys=True) for row in self.to_dicts()]
+        lines.extend(json.dumps(row, sort_keys=True)
+                     for row in self.spans.to_dicts())
         return "\n".join(lines) + ("\n" if lines else "")
 
     def __len__(self) -> int:

@@ -44,6 +44,7 @@ from repro.obs.registry import (
     SNAPSHOT_SCHEMA,
     get_registry,
 )
+from repro.obs.slo import SLOEngine
 from repro.parallel import evaluate_scenarios
 from repro.recovery.metrics import RecoveryStats
 from repro.util.rng import spawn_rngs
@@ -79,6 +80,11 @@ class ChurnConfig:
     pairs: int = 0
     per_hop_latency: float = 0.001
     workers: "int | None" = 1
+    #: Declarative SLO target specs (see :mod:`repro.obs.slo`), evaluated
+    #: against the engine's registry snapshot at every epoch boundary,
+    #: e.g. ``("churn.establish_latency.p99 <= 0.02",)``.  Breaches are
+    #: recorded in :attr:`ChurnStats.slo_breaches`; empty disables.
+    slos: tuple = ()
 
     def __post_init__(self) -> None:
         check_positive(self.arrival_rate, "arrival_rate")
@@ -115,6 +121,9 @@ class ChurnStats:
     #: Human-readable invariant violations found at epoch boundaries
     #: (ledger audit findings and mux-vs-ledger spare mismatches).
     audit_violations: list[str] = field(default_factory=list)
+    #: SLO breaches found at epoch boundaries (one entry per breached
+    #: target per epoch, stamped with the epoch time).
+    slo_breaches: list[str] = field(default_factory=list)
     #: Merged per-epoch recovery evaluation (empty when disabled).
     recovery: RecoveryStats = field(default_factory=RecoveryStats)
 
@@ -143,6 +152,7 @@ class ChurnStats:
             "peak_connections": self.peak_connections,
             "final_connections": self.final_connections,
             "audit_violations": list(self.audit_violations),
+            "slo_breaches": list(self.slo_breaches),
             "recovery": {
                 "scenarios": self.recovery.scenarios,
                 "failed_primaries": self.recovery.failed_primaries,
@@ -184,6 +194,10 @@ class ChurnEngine:
         self._s_load = self.registry.series("churn.network_load")
         self._s_spare = self.registry.series("churn.spare_fraction")
         self._s_live = self.registry.series("churn.connections")
+        # Parsing here fails fast on malformed specs, before any churn
+        # state exists.
+        self._slo_engine = SLOEngine(config.slos) if config.slos else None
+        self._c_slo_breaches = self.registry.counter("churn.slo_breaches")
         nodes = sorted(network.topology.nodes())
         if len(nodes) < 2:
             raise ValueError("churn needs a topology with at least two nodes")
@@ -357,6 +371,14 @@ class ChurnEngine:
         self._s_load.append(at, self.network.network_load())
         self._s_spare.append(at, self.network.spare_fraction())
         self._s_live.append(at, float(self.network.num_connections))
+        if self._slo_engine is not None:
+            for breach in self._slo_engine.breaches(self.registry.snapshot()):
+                note = f" ({breach.detail})" if breach.detail else ""
+                self.stats.slo_breaches.append(
+                    f"epoch {at:g}: {breach.target.spec()} "
+                    f"observed {breach.observed!r}{note}"
+                )
+                self._c_slo_breaches.inc()
         if self.config.eval_scenarios > 0:
             self._evaluate_epoch()
 
