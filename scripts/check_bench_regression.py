@@ -23,6 +23,9 @@ Options:
     --no-trajectory    skip the trajectory append
     --label TEXT       label for the appended trajectory entry
                        (default: the baseline file's stem)
+    --matrix CELL      scenario-matrix cell name recorded on the
+                       appended trajectory entry (rows produced by
+                       'repro matrix run' carry the same field)
 
 Every run (compare *and* update) also appends one
 ``repro.bench-trajectory/1`` JSON line — the anchor-normalised medians
@@ -79,21 +82,51 @@ def normalize(medians: dict[str, float], anchor: str) -> dict[str, float]:
     }
 
 
+def check_store(trajectory_path: Path) -> None:
+    """Refuse to append after a malformed line: a corrupt store would
+    silently poison every later reading of the history."""
+    if not trajectory_path.exists():
+        return
+    with open(trajectory_path) as handle:
+        for number, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as error:
+                sys.exit(
+                    f"{trajectory_path}:{number}: malformed trajectory "
+                    f"line ({error}); fix or remove it before appending"
+                )
+            if not isinstance(entry, dict) or (
+                entry.get("schema") != TRAJECTORY_SCHEMA
+            ):
+                sys.exit(
+                    f"{trajectory_path}:{number}: expected schema "
+                    f"{TRAJECTORY_SCHEMA!r}, got "
+                    f"{entry.get('schema') if isinstance(entry, dict) else entry!r}"
+                )
+
+
 def append_trajectory(
     medians: dict[str, float],
     anchor: str,
     trajectory_path: Path,
     label: str,
+    cell: "str | None" = None,
 ) -> None:
     """Append one ``repro.bench-trajectory/1`` line to the store."""
     if anchor not in medians:
         return
+    check_store(trajectory_path)
     entry = {
         "schema": TRAJECTORY_SCHEMA,
         "label": label,
         "anchor": anchor,
         "normalized": normalize(medians, anchor),
     }
+    if cell is not None:
+        entry["cell"] = cell
     trajectory_path.parent.mkdir(parents=True, exist_ok=True)
     with open(trajectory_path, "a") as handle:
         handle.write(json.dumps(entry, sort_keys=True) + "\n")
@@ -115,6 +148,9 @@ def main() -> None:
     parser.add_argument("--label", default=None,
                         help="trajectory entry label (default: the "
                              "baseline file's stem)")
+    parser.add_argument("--matrix", metavar="CELL", default=None,
+                        help="scenario-matrix cell name recorded on the "
+                             "appended trajectory entry")
     args = parser.parse_args()
 
     medians = load_medians(args.results)
@@ -124,7 +160,8 @@ def main() -> None:
         update_baseline(medians, baseline_path)
         if not args.no_trajectory:
             append_trajectory(medians, CALIBRATION,
-                              Path(args.trajectory), f"update:{label}")
+                              Path(args.trajectory), f"update:{label}",
+                              cell=args.matrix)
         return
 
     with open(baseline_path) as handle:
@@ -158,7 +195,8 @@ def main() -> None:
         print(f"  new  {name}: not in baseline (run --update to add)")
 
     if not args.no_trajectory:
-        append_trajectory(medians, anchor, Path(args.trajectory), label)
+        append_trajectory(medians, anchor, Path(args.trajectory), label,
+                          cell=args.matrix)
 
     if failures:
         print("\nBENCHMARK REGRESSION:")

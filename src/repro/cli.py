@@ -310,6 +310,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="SLO target evaluated at every epoch boundary, "
                             "e.g. 'churn.establish_latency.p99 <= 0.02' "
                             "(repeatable; any breach exits 1)")
+    churn.add_argument("--spec", metavar="PATH", default=None,
+                       help="drive the run from a one-cell repro.scenario/1 "
+                            "spec file instead of the flags above "
+                            "(--slo still applies)")
 
     chaos = subparsers.add_parser(
         "chaos", help="run a seeded chaos campaign with the protocol "
@@ -344,6 +348,51 @@ def build_parser() -> argparse.ArgumentParser:
                             "gamma' — 'gamma' resolves to the network's "
                             "worst-case analytic recovery bound "
                             "(repeatable; any breach exits 1)")
+    chaos.add_argument("--spec", metavar="PATH", default=None,
+                       help="drive the campaign from a one-cell grid-family "
+                            "repro.scenario/1 spec file instead of the "
+                            "flags above (--slo/--plant-bug still apply)")
+
+    matrix = subparsers.add_parser(
+        "matrix", help="expand, diff, and run declarative scenario "
+                       "lattices (repro.scenario/1 / repro.matrix/1)")
+    matrix.add_argument("action", choices=("run", "expand", "diff"),
+                        help="run: execute every cell of a lattice through "
+                             "the churn/chaos/evaluator engines; expand: "
+                             "print (or write) the cell lattice a spec "
+                             "file describes; diff: compare two lattices "
+                             "by cell name")
+    matrix.add_argument("paths", nargs="+", metavar="PATH",
+                        help="spec file(s): a repro.scenario/1 JSONL "
+                             "lattice, a repro.matrix/1 JSON matrix, or a "
+                             "single repro.scenario/1 JSON spec "
+                             "(diff takes exactly two)")
+    matrix.add_argument("--shard", metavar="I/N", default=None,
+                        help="run only round-robin shard I of N "
+                             "(e.g. 0/2; cell i belongs to shard i %% N)")
+    matrix.add_argument("--validate", action="store_true",
+                        help="expand: only check the spec file parses and "
+                             "expands cleanly, print the cell count")
+    matrix.add_argument("--out", metavar="PATH", default=None,
+                        help="expand: write the expanded lattice as "
+                             "repro.scenario/1 JSONL instead of a table")
+    matrix.add_argument("--results-out", metavar="PATH", default=None,
+                        help="run: write one deterministic "
+                             "repro.scenario-result/1 JSON line per cell "
+                             "(byte-identical for any worker count)")
+    matrix.add_argument("--trajectory", metavar="PATH",
+                        default="benchmarks/TRAJECTORY.jsonl",
+                        help="run: append per-cell measure rows to this "
+                             "perf-trajectory store (default "
+                             "benchmarks/TRAJECTORY.jsonl)")
+    matrix.add_argument("--no-trajectory", action="store_true",
+                        help="run: skip the trajectory append")
+    matrix.add_argument("--label", default="matrix",
+                        help="run: label prefix for trajectory rows "
+                             "(default 'matrix')")
+    matrix.add_argument("--artifact-dir", metavar="DIR", default=None,
+                        help="run: write flight recordings of failing "
+                             "chaos cells into this directory")
 
     obs = subparsers.add_parser(
         "obs", help="offline observability: reconstruct recovery episodes "
@@ -432,30 +481,75 @@ def _run_stats(args: argparse.Namespace) -> str:
     )
 
 
+def _load_single_spec(path: str, kind: str):
+    """Load a one-cell spec file for a single-run subcommand."""
+    from repro.scenario import load_cells
+
+    try:
+        cells = load_cells(path)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    if len(cells) != 1:
+        raise SystemExit(
+            f"{path}: expected exactly one scenario cell, got "
+            f"{len(cells)} (run lattices via 'repro matrix run')"
+        )
+    spec = cells[0]
+    if spec.workload.kind != kind:
+        raise SystemExit(
+            f"{path}: expected a {kind!r} workload, got "
+            f"{spec.workload.kind!r}"
+        )
+    return spec
+
+
 def _run_churn(args: argparse.Namespace) -> tuple[str, int]:
     """Seeded churn run; exit code 1 on any epoch invariant violation."""
+    import dataclasses
     import json
 
     from repro.core.bcp import BCPNetwork
-    from repro.workload import ChurnConfig, ChurnEngine
+    from repro.scenario import (
+        ProtocolSpec,
+        ScenarioSpec,
+        TopologySpec,
+        WorkloadSpec,
+        churn_config_from_spec,
+    )
+    from repro.workload import ChurnEngine
 
-    config = _config(args)
-    churn_config = ChurnConfig(
-        arrival_rate=args.arrival_rate,
-        holding_time=args.holding_time,
-        duration=args.duration,
-        seed=args.seed,
-        bandwidth=args.bandwidth,
-        num_backups=args.backups,
-        mux_degree=args.mux,
-        batch_window=args.batch_window,
-        epoch_interval=args.epoch_interval,
-        eval_scenarios=args.eval_scenarios,
-        pairs=args.pairs,
-        workers=args.workers,
+    if args.spec:
+        spec = _load_single_spec(args.spec, "churn")
+    else:
+        spec = ScenarioSpec(
+            name=f"cli/churn/{args.topology}{args.rows}x{args.cols}",
+            topology=TopologySpec(
+                family=args.topology, rows=args.rows, cols=args.cols,
+                capacity=args.capacity,
+            ),
+            workload=WorkloadSpec(
+                kind="churn",
+                arrival_rate=args.arrival_rate,
+                holding_time=args.holding_time,
+                duration=args.duration,
+                bandwidth=args.bandwidth,
+                batch_window=args.batch_window,
+                epoch_interval=args.epoch_interval,
+                eval_scenarios=args.eval_scenarios,
+                pairs=args.pairs,
+            ),
+            protocol=ProtocolSpec(
+                num_backups=args.backups, mux_degree=args.mux,
+            ),
+            seed=args.seed,
+        )
+    # Per-epoch SLO evaluation stays a CLI concern: matrix cells judge
+    # their SLOs once against the finished cell's snapshot instead.
+    churn_config = dataclasses.replace(
+        churn_config_from_spec(spec, workers=args.workers),
         slos=tuple(args.slo),
     )
-    network = BCPNetwork(config.build())
+    network = BCPNetwork(spec.topology.build())
     engine = ChurnEngine(network, churn_config)
     stats = engine.run()
     if args.stats_out:
@@ -463,10 +557,12 @@ def _run_churn(args: argparse.Namespace) -> tuple[str, int]:
             json.dump(stats.to_dict(), handle, indent=2, sort_keys=True)
             handle.write("\n")
     lines = [
-        f"repro churn — {config.label}, mux={args.mux}, "
-        f"{args.backups} backup(s), seed {args.seed}, "
-        f"rate {args.arrival_rate:g}/t, hold {args.holding_time:g}, "
-        f"duration {args.duration:g}",
+        f"repro churn — {spec.topology.label}, "
+        f"mux={spec.protocol.mux_degree}, "
+        f"{spec.protocol.num_backups} backup(s), seed {spec.seed}, "
+        f"rate {spec.workload.arrival_rate:g}/t, "
+        f"hold {spec.workload.holding_time:g}, "
+        f"duration {spec.workload.duration:g}",
         f"arrivals: {stats.arrivals} in {stats.batches} batches; "
         f"established: {stats.established}; blocked: {stats.blocked} "
         f"(P_block {stats.blocking_probability:.4f}); "
@@ -522,7 +618,6 @@ def _run_chaos(args: argparse.Namespace) -> tuple[str, int]:
     import os
 
     from repro.chaos import (
-        ChaosEnvironment,
         artifact_payload,
         build_campaign,
         campaign_summary,
@@ -532,7 +627,6 @@ def _run_chaos(args: argparse.Namespace) -> tuple[str, int]:
         shrink_failing_run,
         write_artifact,
     )
-    from repro.protocol import ProtocolConfig
 
     if args.replay:
         payload = load_artifact(args.replay)
@@ -552,23 +646,47 @@ def _run_chaos(args: argparse.Namespace) -> tuple[str, int]:
             lines.append("no violations: the artifact did not reproduce")
         return "\n".join(lines), (1 if result.violations else 0)
 
-    environment = ChaosEnvironment(
-        topology=args.topology,
-        rows=args.rows,
-        cols=args.cols,
-        capacity=args.capacity if args.capacity is not None else 200.0,
-        num_backups=args.backups,
-        mux_degree=args.mux,
-        connections=args.connections,
+    from repro.scenario import (
+        ProtocolSpec,
+        ScenarioSpec,
+        TopologySpec,
+        WorkloadSpec,
+        chaos_environment_from_spec,
     )
-    config = ProtocolConfig(debug_double_release=args.plant_bug)
+
+    if args.spec:
+        spec = _load_single_spec(args.spec, "chaos")
+    else:
+        spec = ScenarioSpec(
+            name=f"cli/chaos/{args.topology}{args.rows}x{args.cols}",
+            topology=TopologySpec(
+                family=args.topology, rows=args.rows, cols=args.cols,
+                # The chaos harness has always pinned 200 simplex units
+                # regardless of family; keep campaigns replayable.
+                capacity=(args.capacity if args.capacity is not None
+                          else 200.0),
+            ),
+            workload=WorkloadSpec(
+                kind="chaos",
+                campaign_size=args.campaign_size,
+                connections=args.connections,
+                profiles=args.profiles or (),
+            ),
+            protocol=ProtocolSpec(
+                num_backups=args.backups, mux_degree=args.mux,
+            ),
+            seed=args.seed,
+        )
+    environment = chaos_environment_from_spec(spec)
+    config = spec.protocol.config(debug_double_release=args.plant_bug)
     network = environment.build()
-    profiles = args.profiles
+    profiles = spec.workload.profiles or None
     schedules = (
-        build_campaign(args.seed, args.campaign_size, network, config,
-                       profiles=profiles)
+        build_campaign(spec.seed, spec.workload.campaign_size, network,
+                       config, profiles=profiles)
         if profiles is not None
-        else build_campaign(args.seed, args.campaign_size, network, config)
+        else build_campaign(spec.seed, spec.workload.campaign_size,
+                            network, config)
     )
     results = run_campaign(schedules, network, config, workers=args.workers)
     summary = campaign_summary(results)
@@ -576,7 +694,7 @@ def _run_chaos(args: argparse.Namespace) -> tuple[str, int]:
     lines = [
         f"repro chaos — {environment.rows}x{environment.cols} "
         f"{environment.topology}, {environment.connections} connections, "
-        f"seed {args.seed}, {summary['runs']} schedules "
+        f"seed {spec.seed}, {summary['runs']} schedules "
         f"(profiles: {profile_list})",
         f"recovered: {summary['recovered']}; "
         f"unrecoverable: {summary['unrecoverable']}; "
@@ -607,7 +725,7 @@ def _run_chaos(args: argparse.Namespace) -> tuple[str, int]:
         if slo_breaches:
             os.makedirs(args.artifact_dir, exist_ok=True)
             flight_path = os.path.join(
-                args.artifact_dir, f"flight-seed{args.seed}-slo.json")
+                args.artifact_dir, f"flight-seed{spec.seed}-slo.json")
             from repro.obs import FLIGHT_SCHEMA
 
             with open(flight_path, "w") as handle:
@@ -618,7 +736,7 @@ def _run_chaos(args: argparse.Namespace) -> tuple[str, int]:
                     "events": [],
                     "spans": [],
                     "context": {
-                        "seed": args.seed,
+                        "seed": spec.seed,
                         "gamma": gamma,
                         "breaches": [r.to_dict() for r in slo_breaches],
                         "summary": summary,
@@ -647,7 +765,7 @@ def _run_chaos(args: argparse.Namespace) -> tuple[str, int]:
     for index, result in failing[: args.max_artifacts]:
         shrunk = shrink_failing_run(result, network, config)
         path = os.path.join(
-            args.artifact_dir, f"chaos-seed{args.seed}-run{index}.json"
+            args.artifact_dir, f"chaos-seed{spec.seed}-run{index}.json"
         )
         write_artifact(
             path, artifact_payload(shrunk, config, environment)
@@ -663,7 +781,7 @@ def _run_chaos(args: argparse.Namespace) -> tuple[str, int]:
         if result.flight is not None:
             flight_path = os.path.join(
                 args.artifact_dir,
-                f"flight-seed{args.seed}-run{index}.json",
+                f"flight-seed{spec.seed}-run{index}.json",
             )
             with open(flight_path, "w") as handle:
                 json.dump(result.flight, handle, indent=2, sort_keys=True)
@@ -675,6 +793,156 @@ def _run_chaos(args: argparse.Namespace) -> tuple[str, int]:
                      f"raise --max-artifacts to export them)")
     lines.extend(slo_lines)
     return "\n".join(lines), 1
+
+
+def _parse_shard(text: str) -> tuple[int, int]:
+    """``I/N`` -> (index, count); bounds are validated by select_shard."""
+    try:
+        index_text, count_text = text.split("/")
+        return int(index_text), int(count_text)
+    except ValueError:
+        raise SystemExit(
+            f"--shard must be I/N (e.g. 0/2), got {text!r}"
+        ) from None
+
+
+def _run_matrix(args: argparse.Namespace) -> tuple[str, int]:
+    """Scenario-matrix actions: expand/diff a lattice, or run its cells."""
+    import json
+    import os
+
+    from repro.scenario import (
+        append_trajectory,
+        diff_cells,
+        load_cells,
+        run_cells,
+        select_shard,
+        write_lattice,
+    )
+    from repro.util.tables import format_table
+
+    if args.action == "diff":
+        if len(args.paths) != 2:
+            raise SystemExit("repro matrix diff takes exactly two PATHs")
+        try:
+            old = load_cells(args.paths[0])
+            new = load_cells(args.paths[1])
+        except ValueError as error:
+            raise SystemExit(str(error)) from None
+        added, removed, changed = diff_cells(old, new)
+        lines = [
+            f"repro matrix diff — {args.paths[0]} ({len(old)} cells) vs "
+            f"{args.paths[1]} ({len(new)} cells)"
+        ]
+        for title, names in (("added", added), ("removed", removed),
+                             ("changed", changed)):
+            if names:
+                lines.append(f"{title} ({len(names)}):")
+                lines.extend(f"  {name}" for name in names)
+        if not (added or removed or changed):
+            lines.append("lattices are identical")
+            return "\n".join(lines), 0
+        return "\n".join(lines), 1
+
+    if len(args.paths) != 1:
+        raise SystemExit(f"repro matrix {args.action} takes exactly "
+                         f"one PATH")
+    path = args.paths[0]
+    try:
+        cells = load_cells(path)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+
+    if args.action == "expand":
+        if args.validate:
+            return (
+                f"repro matrix expand — {path}: "
+                f"{len(cells)} cell(s) valid", 0,
+            )
+        if args.out:
+            write_lattice(args.out, cells)
+            return (
+                f"repro matrix expand — {path}: {len(cells)} cell(s) "
+                f"-> {args.out}", 0,
+            )
+        table = format_table(
+            ["cell", "kind", "seed"],
+            [[cell.name, cell.workload.kind, str(cell.seed)]
+             for cell in cells],
+            title=f"Scenario lattice — {path} ({len(cells)} cells)",
+        )
+        return table, 0
+
+    # action == "run"
+    total = len(cells)
+    shard_note = ""
+    if args.shard:
+        index, count = _parse_shard(args.shard)
+        try:
+            cells = select_shard(cells, index, count)
+        except ValueError as error:
+            raise SystemExit(str(error)) from None
+        shard_note = f", shard {index}/{count}: {len(cells)} cell(s)"
+    results = run_cells(cells, workers=args.workers)
+    if args.results_out:
+        with open(args.results_out, "w") as handle:
+            for result in results:
+                handle.write(result.to_json() + "\n")
+    failing = [result for result in results if not result.ok]
+    lines = [
+        f"repro matrix run — {path}: {total} cell(s){shard_note}; "
+        f"{len(results) - len(failing)} ok, {len(failing)} failing"
+    ]
+    rows = []
+    for result in results:
+        measures = " ".join(
+            f"{key}={value:.4f}"
+            for key, value in sorted(result.measures.items())
+        )
+        rows.append([
+            result.spec.name,
+            "ok" if result.ok
+            else f"FAIL({len(result.violations)}v/"
+                 f"{len(result.slo_breaches)}s)",
+            measures or "-",
+        ])
+    lines.append(format_table(["cell", "status", "measures"], rows))
+    for result in failing:
+        lines.append(f"{result.spec.name}:")
+        lines.extend(f"  {finding}" for finding in result.violations)
+        lines.extend(f"  SLO breach: {finding}"
+                     for finding in result.slo_breaches)
+    # Flight recordings of failing chaos runs are the diagnosis
+    # artifacts CI uploads.
+    if args.artifact_dir:
+        dumped = 0
+        os.makedirs(args.artifact_dir, exist_ok=True)
+        for result in failing:
+            safe = result.spec.name.replace("/", "__")
+            for index, flight in enumerate(result.flights):
+                flight_path = os.path.join(
+                    args.artifact_dir, f"{safe}-flight{index}.json")
+                with open(flight_path, "w") as handle:
+                    json.dump(flight, handle, indent=2, sort_keys=True)
+                    handle.write("\n")
+                dumped += 1
+            result_path = os.path.join(args.artifact_dir,
+                                       f"{safe}-result.json")
+            with open(result_path, "w") as handle:
+                json.dump(result.to_dict(), handle, indent=2,
+                          sort_keys=True)
+                handle.write("\n")
+        if failing:
+            lines.append(
+                f"{len(failing)} failing cell dump(s) + {dumped} flight "
+                f"recording(s) -> {args.artifact_dir}"
+            )
+    if not args.no_trajectory:
+        appended = append_trajectory(results, args.trajectory, args.label)
+        lines.append(
+            f"trajectory: appended {appended} row(s) -> {args.trajectory}"
+        )
+    return "\n".join(lines), (1 if failing else 0)
 
 
 def _run_obs(args: argparse.Namespace) -> tuple[str, int]:
@@ -748,8 +1016,17 @@ def _run_obs(args: argparse.Namespace) -> tuple[str, int]:
     path = args.input or "benchmarks/TRAJECTORY.jsonl"
     try:
         with open(path) as handle:
-            entries = [json.loads(line) for line in handle
-                       if line.strip()]
+            entries = []
+            for number, line in enumerate(handle, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    entries.append(json.loads(line))
+                except json.JSONDecodeError as error:
+                    raise SystemExit(
+                        f"{path}:{number}: malformed trajectory line: "
+                        f"{error}"
+                    ) from None
     except FileNotFoundError:
         raise SystemExit(f"trajectory store not found: {path}") from None
     if not entries:
@@ -841,6 +1118,8 @@ def _run_command(args: argparse.Namespace) -> "str | tuple[str, int]":
         return _run_churn(args)
     if args.command == "chaos":
         return _run_chaos(args)
+    if args.command == "matrix":
+        return _run_matrix(args)
     if args.command == "obs":
         return _run_obs(args)
     if args.command == "all":
