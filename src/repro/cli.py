@@ -440,6 +440,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-route-cache", action="store_true",
             help="disable the version-keyed route cache (escape hatch; "
                  "results are identical either way, only slower)")
+        sub.add_argument(
+            "--no-mux-kernel", action="store_true",
+            help="route backup multiplexing through the per-pair "
+                 "reference engine instead of the vectorized "
+                 "packed-bitset kernel (escape hatch; results are "
+                 "identical either way, only slower)")
 
     return parser
 
@@ -1156,6 +1162,10 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         from repro.routing import set_route_cache_enabled
 
         set_route_cache_enabled(False)
+    if args.no_mux_kernel:
+        from repro.core import set_mux_kernel_enabled
+
+        set_mux_kernel_enabled(False)
     # Each invocation observes itself through a fresh session registry
     # (and, with --trace-out, a shared trace sink), so exported counters
     # reflect exactly this run and are reproducible run-to-run.

@@ -24,8 +24,15 @@ the same order.
 Complexity (Section 6): adding or removing a backup updates a link in
 O(n) pairwise tests by maintaining each entry's requirement incrementally;
 recomputing from scratch would be O(n²).  Both paths exist (the scratch
-recompute doubles as a validation oracle) and the benchmark
-``bench_scalability`` measures the gap.
+recompute doubles as a validation oracle) and the benchmarks
+``bench_scalability`` / ``bench_mux`` measure the gap.
+
+At scale the engine routes per-link state through the vectorized
+packed-bitset kernel (:mod:`repro.core.muxkernel`), which keeps the same
+O(n) contract but performs the n pair tests of an admission or teardown
+as one numpy conflict test per link, bit-identically.  The per-pair
+:class:`LinkMuxState` below is retained as the golden reference oracle
+(the ``reference_shortest_path`` pattern) and serves exact-``S`` policies.
 """
 
 from __future__ import annotations
@@ -33,8 +40,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.channels.channel import Channel, ChannelRole
+from repro.core.muxkernel import (
+    ComponentArena,
+    VectorLinkMux,
+    kernel_available,
+    mux_kernel_enabled,
+    publish_engine_obs,
+    _ObsSync,
+)
 from repro.core.overlap import ComponentSpace, OverlapIndex, OverlapPolicy
 from repro.network.components import LinkId
+from repro.obs.registry import get_registry
 from repro.routing.paths import Path
 from repro.util.validation import check_positive
 
@@ -359,7 +375,11 @@ class MultiplexingEngine:
     ledger.
     """
 
-    def __init__(self, policy: OverlapPolicy | None = None) -> None:
+    def __init__(
+        self,
+        policy: OverlapPolicy | None = None,
+        use_kernel: "bool | None" = None,
+    ) -> None:
         self.policy = policy or OverlapPolicy()
         #: Engine-wide shared-count cache: a backup pair sharing k links
         #: costs one set intersection instead of k.  Only consulted for
@@ -369,13 +389,29 @@ class MultiplexingEngine:
         #: resolved to integer bitsets once, turning every pairwise
         #: shared-count in the mux hot loops into a popcount.
         self.space = ComponentSpace()
-        self._links: dict[LinkId, LinkMuxState] = {}
+        #: Whether links use the vectorized packed-bitset kernel
+        #: (:mod:`repro.core.muxkernel`).  Resolved at construction from
+        #: the process-wide toggle; the kernel implements the integer
+        #: multiplexability test only, so exact-``S`` policies always
+        #: keep the per-pair reference path.
+        if use_kernel is None:
+            use_kernel = mux_kernel_enabled()
+        self.use_kernel = (
+            bool(use_kernel) and kernel_available() and not self.policy.exact
+        )
+        #: Shared packed-bitset arena (kernel engines only).
+        self.arena = ComponentArena() if self.use_kernel else None
+        self._links: "dict[LinkId, LinkMuxState | VectorLinkMux]" = {}
+        self._obs = _ObsSync()
 
-    def link_state(self, link: LinkId) -> LinkMuxState:
+    def link_state(self, link: LinkId) -> "LinkMuxState | VectorLinkMux":
         """The (lazily created) multiplexing state of ``link``."""
         state = self._links.get(link)
         if state is None:
-            state = LinkMuxState(link, self.policy, overlaps=self.overlaps)
+            if self.use_kernel:
+                state = VectorLinkMux(link, self.policy, self.arena)
+            else:
+                state = LinkMuxState(link, self.policy, overlaps=self.overlaps)
             self._links[link] = state
         return state
 
@@ -393,7 +429,10 @@ class MultiplexingEngine:
         self, backup: Channel, primary: Channel
     ) -> tuple[frozenset, int, int]:
         components = self.policy.component_set(primary.path)
-        return components, len(components), self.space.mask(components)
+        # Kernel links resolve components to arena rows themselves; the
+        # integer mask would be dead weight there.
+        mask = 0 if self.use_kernel else self.space.mask(components)
+        return components, len(components), mask
 
     def preview_backup(
         self, backup_path: Path, bandwidth: float, mux_degree: int, primary: Channel
@@ -402,22 +441,29 @@ class MultiplexingEngine:
         were added — the establishment admission query."""
         components = self.policy.component_set(primary.path)
         count = len(components)
-        mask = self.space.mask(components)
-        return {
+        mask = 0 if self.use_kernel else self.space.mask(components)
+        requirements = {
             link: self.link_state(link).preview_add(
                 bandwidth, mux_degree, components, count, mask
             )
             for link in backup_path.links
         }
+        if self.use_kernel:
+            get_registry().counter("mux.kernel.previews").inc()
+        publish_engine_obs(self)
+        return requirements
 
     def add_backup(self, backup: Channel, primary: Channel) -> dict[LinkId, float]:
         """Register ``backup`` on every link of its path; returns the new
-        required pool size per link."""
+        required pool size per link.
+
+        With the kernel, the admission touches only the rows of the links
+        on the backup's path — one vectorized conflict test per link."""
         if backup.role is not ChannelRole.BACKUP:
             raise ValueError(f"channel {backup.channel_id} is not a backup")
         components, count, mask = self._describe(backup, primary)
         self.overlaps.register(backup.channel_id)
-        return {
+        requirements = {
             link: self.link_state(link).add(
                 backup.channel_id,
                 backup.bandwidth,
@@ -428,6 +474,10 @@ class MultiplexingEngine:
             )
             for link in backup.path.links
         }
+        if self.use_kernel:
+            get_registry().counter("mux.kernel.adds").inc()
+        publish_engine_obs(self)
+        return requirements
 
     def remove_backup(self, backup: Channel) -> dict[LinkId, float]:
         """Deregister ``backup`` from every link of its path; returns the
@@ -437,20 +487,44 @@ class MultiplexingEngine:
             for link in backup.path.links
         }
         self.overlaps.unregister(backup.channel_id)
+        if self.use_kernel:
+            get_registry().counter("mux.kernel.removes").inc()
+        publish_engine_obs(self)
         return requirements
 
     def remove_backups(self, backups: "list[Channel]") -> dict[LinkId, float]:
         """Deregister several backups at once; returns the new required
         pool size per *affected* link.
 
-        Later removals overwrite earlier values for shared links, so the
-        returned mapping holds each link's final requirement — suitable
-        for one bulk :meth:`ReservationLedger.set_spares` mirror (the
-        incremental-teardown path: only links some removed backup crossed
-        are touched, everything else keeps its pool untouched)."""
-        requirements: dict[LinkId, float] = {}
+        The returned mapping holds each link's final requirement —
+        suitable for one bulk :meth:`ReservationLedger.set_spares` mirror
+        (the incremental-teardown path: only links some removed backup
+        crossed are touched, everything else keeps its pool untouched).
+
+        Kernel engines group the removals by link first and tear each
+        link down in one :meth:`~repro.core.muxkernel.VectorLinkMux.remove_many`
+        call (same per-removal order as the sequential path, so the final
+        state is bit-identical); reference engines fall back to
+        backup-by-backup removal."""
+        if not self.use_kernel:
+            requirements: dict[LinkId, float] = {}
+            for backup in backups:
+                requirements.update(self.remove_backup(backup))
+            return requirements
+        per_link: dict[LinkId, list[int]] = {}
         for backup in backups:
-            requirements.update(self.remove_backup(backup))
+            for link in backup.path.links:
+                per_link.setdefault(link, []).append(backup.channel_id)
+        requirements = {
+            link: self.link_state(link).remove_many(channel_ids)
+            for link, channel_ids in per_link.items()
+        }
+        for backup in backups:
+            self.overlaps.unregister(backup.channel_id)
+        registry = get_registry()
+        registry.counter("mux.kernel.removes").inc(len(backups))
+        registry.counter("mux.kernel.batched_teardowns").inc()
+        publish_engine_obs(self)
         return requirements
 
     def psi_sizes(self, backup: Channel) -> dict[LinkId, int]:

@@ -116,6 +116,11 @@ class ComponentSpace:
     def __len__(self) -> int:
         return len(self._bits)
 
+    @property
+    def rows(self) -> int:
+        """Distinct component sets interned so far."""
+        return len(self._set_masks)
+
     def mask(self, components: frozenset) -> int:
         """The integer bitset of ``components``, interning new ones."""
         cached = self._set_masks.get(components)

@@ -273,7 +273,7 @@ class TestEngineOverlapCache:
         )
 
     def test_masks_resolve_pairs_without_set_intersections(self):
-        engine = MultiplexingEngine()
+        engine = MultiplexingEngine(use_kernel=False)
         # Two backups sharing two links: in integer mode the pair test is
         # a popcount over interned component bitsets, so the set-based
         # OverlapIndex is never consulted...
@@ -286,6 +286,25 @@ class TestEngineOverlapCache:
         # ...and both primaries' component sets are interned in the
         # engine-wide space (5 distinct components each, sharing node 4).
         assert len(engine.space) == 9
+
+    def test_kernel_interns_into_shared_arena(self):
+        # The kernel twin of the test above: pair tests run as popcounts
+        # over arena rows, the OverlapIndex and the integer-mask interner
+        # are both left untouched.
+        engine = MultiplexingEngine(use_kernel=True)
+        if not engine.use_kernel:  # numpy-less environment
+            import pytest
+
+            pytest.skip("vectorized kernel unavailable")
+        engine.add_backup(self._backup(0, (1, 2, 3, 4), 3),
+                         self._primary(0, (1, 8, 4)))
+        engine.add_backup(self._backup(1, (0, 2, 3, 4), 3),
+                         self._primary(1, (0, 9, 4)))
+        assert engine.overlaps.misses == 0
+        assert engine.overlaps.hits == 0
+        assert len(engine.space) == 0
+        assert len(engine.arena) == 9
+        assert engine.arena.rows == 2
 
     def test_masks_agree_with_set_intersections(self):
         # The mask fast path must size pools identically to the maskless

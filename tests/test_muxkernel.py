@@ -1,0 +1,418 @@
+"""Property and golden tests for the vectorized multiplexing kernel.
+
+The per-pair :class:`~repro.core.multiplexing.LinkMuxState` is the
+validation oracle (the ``reference_shortest_path`` pattern): every test
+here drives the :class:`~repro.core.muxkernel.VectorLinkMux` kernel and
+the reference through identical op sequences and demands *bit-identical*
+results — ``==`` on floats, never ``pytest.approx``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import BCPNetwork, FaultToleranceQoS
+from repro.channels.traffic import TrafficSpec
+from repro.core import set_mux_kernel_enabled
+from repro.core.bcp import BatchRequest
+from repro.core.dconnection import DConnection
+from repro.core.multiplexing import LinkMuxState, MultiplexingEngine
+from repro.core.muxkernel import (
+    ComponentArena,
+    VectorLinkMux,
+    kernel_available,
+    mux_kernel_enabled,
+    reference_link_state,
+)
+from repro.core.overlap import OverlapPolicy
+from repro.network.components import LinkId
+from repro.network.generators import random_regular, ring, torus
+from repro.faults import all_single_link_failures
+from repro.obs import obs_session
+from repro.recovery import RecoveryEvaluator
+from repro.routing.paths import Path
+
+pytestmark = pytest.mark.skipif(
+    not kernel_available(), reason="numpy with bitwise_count unavailable"
+)
+
+LINK = LinkId("u", "v")
+BANDWIDTHS = (0.5, 1.0, 1.25, 2.0, 3.3)
+DEGREES = (0, 1, 2, 3, 5, 6)
+
+
+def _random_walk_path(topology, rng: random.Random, max_len: int = 9) -> Path:
+    """A random simple path drawn from the topology's actual adjacency."""
+    nodes_pool = list(topology.nodes())
+    while True:
+        node = rng.choice(nodes_pool)
+        walk = [node]
+        seen = {node}
+        target = rng.randint(2, max_len)
+        while len(walk) < target:
+            candidates = [
+                nxt for nxt in topology.successors(walk[-1]) if nxt not in seen
+            ]
+            if not candidates:
+                break
+            node = rng.choice(candidates)
+            walk.append(node)
+            seen.add(node)
+        if len(walk) >= 2:
+            return Path(walk)
+
+
+def _twin_states(policy=None):
+    policy = policy or OverlapPolicy()
+    arena = ComponentArena()
+    vector = VectorLinkMux(LINK, policy, arena)
+    reference = LinkMuxState(LINK, policy)
+    return vector, reference
+
+
+def _assert_twins_equal(vector: VectorLinkMux, reference: LinkMuxState):
+    assert len(vector) == len(reference)
+    assert vector.spare_required() == reference.spare_required()
+    for entry in reference.entries():
+        cid = entry.channel_id
+        assert cid in vector
+        assert vector.psi_size(cid) == reference.psi_size(cid)
+        twin = vector.entry(cid)
+        assert twin.requirement == entry.requirement
+        assert twin.bandwidth == entry.bandwidth
+        assert twin.mux_degree == entry.mux_degree
+        assert vector.conflict_ids(cid) == entry.conflicts
+
+
+TOPOLOGY_FAMILIES = {
+    "torus": lambda: torus(6, 6),
+    "ring": lambda: ring(24),
+    "random-regular": lambda: random_regular(30, 4, seed=7),
+}
+
+
+class TestVectorVsReferenceProperty:
+    """Randomized add/remove sequences: kernel == reference, bit for bit."""
+
+    @pytest.mark.parametrize("family", sorted(TOPOLOGY_FAMILIES))
+    def test_randomized_sequences_match(self, family):
+        topology = TOPOLOGY_FAMILIES[family]()
+        rng = random.Random(hash(family) & 0xFFFF | 1)
+        policy = OverlapPolicy()
+        vector, reference = _twin_states(policy)
+        live: list[int] = []
+        next_id = 0
+        for step in range(400):
+            if live and rng.random() < 0.35:
+                cid = live.pop(rng.randrange(len(live)))
+                assert vector.remove(cid) == reference.remove(cid)
+            else:
+                path = _random_walk_path(topology, rng)
+                components = policy.component_set(path)
+                bw = rng.choice(BANDWIDTHS)
+                degree = rng.choice(DEGREES)
+                grown = vector.add(next_id, bw, degree, components, len(components))
+                assert grown == reference.add(
+                    next_id, bw, degree, components, len(components)
+                )
+                live.append(next_id)
+                next_id += 1
+            if step % 25 == 0:
+                _assert_twins_equal(vector, reference)
+                # The from-scratch oracle agrees with both incrementals.
+                assert (
+                    vector.spare_required_recomputed()
+                    == reference.spare_required_recomputed()
+                )
+        _assert_twins_equal(vector, reference)
+
+    @pytest.mark.parametrize("family", sorted(TOPOLOGY_FAMILIES))
+    def test_preview_and_candidate_psi_match(self, family):
+        topology = TOPOLOGY_FAMILIES[family]()
+        rng = random.Random(0xC0FFEE)
+        policy = OverlapPolicy()
+        vector, reference = _twin_states(policy)
+        for cid in range(60):
+            path = _random_walk_path(topology, rng)
+            components = policy.component_set(path)
+            bw = rng.choice(BANDWIDTHS)
+            degree = rng.choice(DEGREES)
+            vector.add(cid, bw, degree, components, len(components))
+            reference.add(cid, bw, degree, components, len(components))
+        for _ in range(40):
+            path = _random_walk_path(topology, rng)
+            components = policy.component_set(path)
+            bw = rng.choice(BANDWIDTHS)
+            degree = rng.choice(DEGREES)
+            assert vector.preview_add(
+                bw, degree, components, len(components)
+            ) == reference.preview_add(bw, degree, components, len(components))
+            degrees = list(DEGREES)
+            assert vector.psi_sizes_for_candidate(
+                components, len(components), degrees
+            ) == reference.psi_sizes_for_candidate(
+                components, len(components), degrees
+            )
+
+    def test_bulk_teardown_matches_sequential_removal(self):
+        topology = TOPOLOGY_FAMILIES["torus"]()
+        rng = random.Random(99)
+        policy = OverlapPolicy()
+        vector, reference = _twin_states(policy)
+        for cid in range(80):
+            path = _random_walk_path(topology, rng)
+            components = policy.component_set(path)
+            bw = rng.choice(BANDWIDTHS)
+            degree = rng.choice(DEGREES)
+            vector.add(cid, bw, degree, components, len(components))
+            reference.add(cid, bw, degree, components, len(components))
+        victims = rng.sample(range(80), 30)
+        final = vector.remove_many(victims)
+        for cid in victims:
+            reference.remove(cid)
+        assert final == reference.spare_required()
+        _assert_twins_equal(vector, reference)
+
+    def test_remove_many_unknown_id_raises(self):
+        vector, _ = _twin_states()
+        vector.add(1, 1.0, 3, frozenset({"a", "b"}), 2)
+        with pytest.raises(KeyError):
+            vector.remove_many([1, 42])
+
+
+class TestPolicyAgreement:
+    """Integer ``sc < α`` test vs exact ``S < α·λ`` — the paper derives
+    the former from the latter; off the ``sc == α`` boundary they agree."""
+
+    def test_exact_and_integer_agree_off_boundary(self):
+        rng = random.Random(2024)
+        integer = OverlapPolicy(failure_probability=1e-6)
+        exact = OverlapPolicy(failure_probability=1e-6, exact=True)
+        checked = 0
+        while checked < 500:
+            ci = rng.randint(2, 14)
+            cj = rng.randint(2, 14)
+            shared = rng.randint(0, min(ci, cj))
+            degree = rng.randint(0, 7)
+            if shared == degree:
+                continue  # the documented boundary: verdicts may differ
+            assert integer.multiplexable_counts(
+                ci, cj, shared, degree
+            ) == exact.multiplexable_counts(ci, cj, shared, degree), (
+                ci, cj, shared, degree,
+            )
+            checked += 1
+
+    def test_exact_policy_engine_stays_on_reference_path(self):
+        engine = MultiplexingEngine(OverlapPolicy(exact=True), use_kernel=True)
+        assert not engine.use_kernel
+        assert engine.arena is None
+        assert isinstance(engine.link_state(LINK), LinkMuxState)
+
+    def test_vector_state_rejects_exact_policy(self):
+        with pytest.raises(ValueError, match="integer"):
+            VectorLinkMux(LINK, OverlapPolicy(exact=True), ComponentArena())
+
+
+class TestEngineGolden:
+    """Two BCPNetworks replaying one workload, kernel on vs off: every
+    observable — spare pools, Ψ sizes, P_r, recovery stats — matches."""
+
+    @staticmethod
+    def _build_pair():
+        networks = []
+        for use_kernel in (True, False):
+            network = BCPNetwork(torus(6, 6), mux_kernel=use_kernel)
+            rng = random.Random(4242)
+            nodes = list(network.topology.nodes())
+            requests = []
+            for _ in range(14):
+                src, dst = rng.sample(nodes, 2)
+                requests.append(
+                    BatchRequest(
+                        src,
+                        dst,
+                        traffic=TrafficSpec(bandwidth=rng.choice((1.0, 2.0))),
+                        ft_qos=FaultToleranceQoS(
+                            num_backups=rng.choice((1, 2)),
+                            mux_degree=rng.choice((1, 3, 6)),
+                        ),
+                    )
+                )
+            results = network.establish_batch(requests)
+            for _ in range(6):
+                src, dst = rng.sample(nodes, 2)
+                try:
+                    network.establish(
+                        src, dst,
+                        ft_qos=FaultToleranceQoS(
+                            num_backups=1, mux_degree=rng.choice((1, 3))
+                        ),
+                    )
+                except Exception:
+                    pass
+            # Interleave bulk teardowns (remove_backups / remove_many).
+            established = [
+                r for r in results if isinstance(r, DConnection)
+            ]
+            for victim in established[::4]:
+                network.teardown(victim)
+            networks.append(network)
+        return networks
+
+    def test_spare_pools_and_psi_match(self):
+        kernel_net, reference_net = self._build_pair()
+        assert kernel_net.mux.use_kernel
+        assert not reference_net.mux.use_kernel
+        assert kernel_net.num_connections == reference_net.num_connections
+        for link in kernel_net.topology.links():
+            assert kernel_net.mux.spare_required(
+                link
+            ) == reference_net.mux.spare_required(link)
+            assert (
+                kernel_net.ledger.ledger(link).spare
+                == reference_net.ledger.ledger(link).spare
+            )
+        for conn, twin in zip(
+            kernel_net.connections(), reference_net.connections()
+        ):
+            assert conn.connection_id == twin.connection_id
+            assert kernel_net.connection_reliability(
+                conn
+            ) == reference_net.connection_reliability(twin)
+            for backup, twin_backup in zip(conn.backups, twin.backups):
+                assert kernel_net.mux.psi_sizes(
+                    backup
+                ) == reference_net.mux.psi_sizes(twin_backup)
+
+    def test_recovery_stats_match(self):
+        kernel_net, reference_net = self._build_pair()
+        scenarios = list(all_single_link_failures(kernel_net.topology))
+        kernel_stats = RecoveryEvaluator(kernel_net).evaluate_many(scenarios)
+        reference_stats = RecoveryEvaluator(reference_net).evaluate_many(
+            scenarios
+        )
+        assert kernel_stats == reference_stats
+
+
+class TestTransplant:
+    """``reference_link_state`` must hand benchmarks a faithful oracle."""
+
+    def test_transplant_state_and_future_ops_match(self):
+        topology = TOPOLOGY_FAMILIES["torus"]()
+        rng = random.Random(5)
+        policy = OverlapPolicy()
+        arena = ComponentArena()
+        vector = VectorLinkMux(LINK, policy, arena)
+        for cid in range(50):
+            path = _random_walk_path(topology, rng)
+            components = policy.component_set(path)
+            vector.add(
+                cid, rng.choice(BANDWIDTHS), rng.choice(DEGREES),
+                components, len(components),
+            )
+        reference = reference_link_state(vector)
+        _assert_twins_equal(vector, reference)
+        # The transplant is live: the same subsequent ops stay identical.
+        path = _random_walk_path(topology, rng)
+        components = policy.component_set(path)
+        assert vector.add(
+            777, 2.0, 3, components, len(components)
+        ) == reference.add(777, 2.0, 3, components, len(components))
+        assert vector.remove(10) == reference.remove(10)
+        _assert_twins_equal(vector, reference)
+
+
+class TestComponentArena:
+    def test_growth_past_initial_geometry(self):
+        arena = ComponentArena()
+        sets = []
+        rng = random.Random(11)
+        for i in range(150):  # > 64 rows, > 256 component bits
+            members = frozenset(rng.sample(range(600), rng.randint(3, 12)))
+            sets.append((arena.row(members), members))
+        assert arena.rows == len({row for row, _ in sets})
+        assert len(arena) == len({c for _, members in sets for c in members})
+        assert arena.nbytes > 0
+        import numpy as np
+
+        rows = np.array([row for row, _ in sets], dtype=np.int64)
+        probe_row, probe_members = sets[37]
+        shared = arena.shared_counts(rows, probe_row)
+        for got, (_, members) in zip(shared, sets):
+            assert int(got) == len(members & probe_members)
+
+    def test_row_interning_is_stable(self):
+        arena = ComponentArena()
+        a = frozenset({"x", "y", "z"})
+        assert arena.row(a) == arena.row(frozenset({"z", "y", "x"}))
+        assert arena.components(arena.row(a)) == a
+
+
+class TestObsExport:
+    def test_kernel_counters_and_arena_gauges(self):
+        with obs_session() as registry:
+            network = BCPNetwork(torus(4, 4), mux_kernel=True)
+            network.establish(0, 5, ft_qos=FaultToleranceQoS(num_backups=1))
+            conn = network.establish(
+                1, 6, ft_qos=FaultToleranceQoS(num_backups=1)
+            )
+            network.teardown(conn)
+            snapshot = registry.snapshot()
+        counters = snapshot["counters"]
+        assert counters.get("mux.kernel.adds", 0) >= 2
+        assert counters.get("mux.kernel.removes", 0) >= 1
+        assert counters.get("mux.kernel.batched_teardowns", 0) >= 1
+        gauges = snapshot["gauges"]
+        assert gauges["mux.space.components"]["value"] > 0
+        assert gauges["mux.space.rows"]["value"] > 0
+        assert gauges["mux.space.bytes"]["value"] > 0
+
+    def test_reference_engine_exports_overlap_index_counters(self):
+        from repro.core.muxkernel import publish_engine_obs
+
+        # Integer-mode pair tests are inlined (set intersections /
+        # popcounts), so the OverlapIndex is consulted on the exact-S
+        # reference path — which always bypasses the kernel.
+        with obs_session() as registry:
+            engine = MultiplexingEngine(OverlapPolicy(exact=True))
+            assert not engine.use_kernel
+            publish_engine_obs(engine)  # baseline against this session
+            state = engine.link_state(LINK)
+            engine.overlaps.register(1)
+            engine.overlaps.register(2)
+            state.add(1, 1.0, 3, frozenset({"a", "b", "c"}), 3)
+            state.add(2, 1.0, 3, frozenset({"b", "c", "d"}), 3)  # miss
+            state.spare_required_recomputed()  # hits the cached pair
+            publish_engine_obs(engine)
+            snapshot = registry.snapshot()
+        assert "mux.space.components" in snapshot["gauges"]
+        assert snapshot["counters"].get("overlap_index.hits", 0) > 0
+        assert snapshot["counters"].get("overlap_index.misses", 0) > 0
+
+
+class TestEscapeHatch:
+    def test_toggle_governs_new_engines(self):
+        previous = set_mux_kernel_enabled(False)
+        try:
+            assert not mux_kernel_enabled()
+            assert not MultiplexingEngine().use_kernel
+            set_mux_kernel_enabled(True)
+            assert MultiplexingEngine().use_kernel
+        finally:
+            set_mux_kernel_enabled(previous)
+
+    def test_explicit_argument_overrides_toggle(self):
+        previous = set_mux_kernel_enabled(True)
+        try:
+            assert not MultiplexingEngine(use_kernel=False).use_kernel
+        finally:
+            set_mux_kernel_enabled(previous)
+
+    def test_cli_flag_disables_kernel(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["stats", "--no-mux-kernel"])
+        assert args.no_mux_kernel
