@@ -15,7 +15,10 @@ Runs the same scenario evaluations with ``--workers 1`` and
   kernel disabled (``--no-mux-kernel``) — the kernel-vs-reference
   byte-identity contract at the experiment level,
 * a complete churn run with per-epoch recovery evaluation (stats dict
-  and the full ``repro.metrics/1`` snapshot, series included).
+  and the full ``repro.metrics/1`` snapshot, series included),
+* a chaos campaign under non-default switchover retry/backoff knobs
+  with re-establishment fallback enabled (summary, per-run violation
+  and materialized-event streams, merged metrics snapshot).
 
 Usage: PYTHONPATH=src python scripts/check_worker_determinism.py [N]
 """
@@ -124,6 +127,84 @@ def check_churn(workers: int) -> None:
           f"({stats1['arrivals']} arrivals, {stats1['epochs']} epochs)")
 
 
+def check_chaos_switchover(workers: int) -> None:
+    """A chaos campaign under non-default switchover retry/backoff knobs
+    (plus re-establishment fallback) must not depend on the worker
+    count: summaries, per-run violations, materialized event streams,
+    and the merged metrics snapshot — switchover.* counters, retry
+    span points, episode ids — all bit-identical."""
+    from repro.chaos import build_campaign, campaign_summary, run_campaign
+    from repro.core import BCPNetwork
+    from repro.network import torus
+    from repro.protocol import ProtocolConfig
+
+    config = ProtocolConfig(
+        switchover_ack_timeout=7.0,
+        switchover_retry_limit=3,
+        switchover_backoff=1.5,
+        reestablish_unrecoverable=True,
+    )
+
+    def run(count: int) -> tuple[dict, list, dict]:
+        from repro.channels.qos import FaultToleranceQoS as QoS
+
+        registry = MetricsRegistry()
+        network = BCPNetwork(torus(4, 4, capacity=200.0))
+        nodes = sorted(network.topology.nodes())
+        for index in range(6):
+            network.establish(
+                nodes[index], nodes[(index + 8) % 16],
+                ft_qos=QoS(num_backups=2, mux_degree=1),
+            )
+        schedules = build_campaign(SEED, 6, network, config)
+        results = run_campaign(
+            schedules, network, config, workers=count, metrics=registry,
+        )
+        per_run = [
+            (
+                result.schedule.profile,
+                tuple(result.materialized),
+                tuple(
+                    (v.invariant, v.subject, v.time)
+                    for v in result.violations
+                ),
+                result.final_time,
+                result.drained,
+            )
+            for result in results
+        ]
+        snapshot = registry.snapshot()
+        # Timer histograms are wall-clock, and the route cache is
+        # process-global (the hit/miss split depends on which process
+        # computed a route, not on what was computed) — neither is part
+        # of the determinism contract.
+        snapshot.pop("histograms", None)
+        snapshot["counters"] = {
+            name: value
+            for name, value in snapshot["counters"].items()
+            if not name.startswith("route_cache.")
+        }
+        return campaign_summary(results), per_run, snapshot
+
+    summary1, runs1, snapshot1 = run(1)
+    summaryn, runsn, snapshotn = run(workers)
+    if summary1 != summaryn:
+        _fail("chaos campaign summary (switchover knobs)",
+              summary1, summaryn)
+    if runs1 != runsn:
+        _fail("chaos per-run streams (switchover knobs)", runs1, runsn)
+    if snapshot1 != snapshotn:
+        _fail("chaos metrics snapshot (switchover knobs)",
+              snapshot1, snapshotn)
+    switchover = {
+        name: value
+        for name, value in snapshot1["counters"].items()
+        if name.startswith("switchover.")
+    }
+    print(f"  chaos campaign identical under retry/backoff knobs "
+          f"({summary1['runs']} runs, switchover counters {switchover})")
+
+
 def check_route_cache_escape_hatch() -> None:
     """The ``--no-route-cache`` escape hatch must not change any result."""
     cached = run_table1(CONFIG, double_node_samples=20, seed=SEED,
@@ -216,6 +297,7 @@ def main() -> None:
     check_route_cache_escape_hatch()
     check_mux_kernel_escape_hatch(workers)
     check_churn(workers)
+    check_chaos_switchover(workers)
     print("OK: parallel evaluation is deterministic.")
 
 

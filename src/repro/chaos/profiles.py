@@ -216,6 +216,14 @@ def build_schedule(profile: str, seed: int, network, config) -> ChaosSchedule:
         # A triggered injection lands within a recovery window of a
         # static one; give its own rejoin cycle room too.
         slack += config.rejoin_timeout
+    # The switchover handshake may chew through every backup of a
+    # connection at full retry/backoff before falling back; give the
+    # worst-case chain room so exhaustion resolves inside the horizon.
+    max_backups = max(
+        (len(connection.backups) for connection in network.connections()),
+        default=1,
+    )
+    slack += config.switchover_retry_window * max(max_backups, 1)
     return ChaosSchedule(
         seed=seed,
         profile=profile,

@@ -162,7 +162,7 @@ def artifact_payload(
     environment: "ChaosEnvironment | None" = None,
 ) -> dict:
     """The JSON document for one shrunk failure."""
-    return {
+    payload = {
         "schema": SCHEMA,
         "schedule": shrink.schedule.to_dict(),
         "violations": [v.as_dict() for v in shrink.violations],
@@ -173,7 +173,22 @@ def artifact_payload(
         "environment": (
             environment.to_dict() if environment is not None else None
         ),
+        # The (K, b, D) triple spelled out explicitly: K and b shape the
+        # *established* state (they live in the environment), D is the
+        # RCC per-hop bound (it lives in the config).  Replays validate
+        # this block against both so an artifact edited by hand — or one
+        # replayed under drifted CLI defaults — fails loudly instead of
+        # reproducing a different scenario byte-for-byte.
+        "protocol": {
+            "d_max": config.rcc.max_delay,
+        },
     }
+    if environment is not None:
+        payload["protocol"].update(
+            num_backups=environment.num_backups,
+            mux_degree=environment.mux_degree,
+        )
+    return payload
 
 
 def write_artifact(path, payload: dict) -> None:
@@ -195,14 +210,48 @@ def load_artifact(path) -> dict:
     return payload
 
 
+def _check_protocol_block(payload: dict, config: ProtocolConfig) -> None:
+    """Cross-validate the artifact's explicit (K, b, D) block against the
+    environment and config it also carries.  Old artifacts without the
+    block pass unchecked (the config/environment remain authoritative)."""
+    protocol = payload.get("protocol")
+    if protocol is None:
+        return
+    mismatches = []
+    d_max = protocol.get("d_max")
+    if d_max is not None and d_max != config.rcc.max_delay:
+        mismatches.append(
+            f"d_max {d_max!r} != config rcc.max_delay "
+            f"{config.rcc.max_delay!r}"
+        )
+    environment = payload.get("environment")
+    if environment is not None:
+        for key in ("num_backups", "mux_degree"):
+            declared = protocol.get(key)
+            recorded = environment.get(key)
+            if declared is not None and declared != recorded:
+                mismatches.append(
+                    f"{key} {declared!r} != environment {key} {recorded!r}"
+                )
+    if mismatches:
+        raise ValueError(
+            "artifact protocol block contradicts its recorded "
+            "environment/config: " + "; ".join(mismatches)
+        )
+
+
 def replay_artifact(payload: dict, network=None) -> ChaosRunResult:
     """Re-execute an artifact's schedule under its recorded config.
 
     ``network`` overrides the artifact's environment (tests replaying
     against a live network); otherwise the environment is rebuilt, which
-    is what makes artifacts portable across machines.
+    is what makes artifacts portable across machines.  Replays never read
+    CLI defaults: everything comes from the artifact, and the explicit
+    ``protocol`` block is validated against the recorded
+    environment/config first.
     """
     config = protocol_config_from_json(payload["config"])
+    _check_protocol_block(payload, config)
     schedule = ChaosSchedule.from_dict(payload["schedule"])
     if network is None:
         environment = payload.get("environment")

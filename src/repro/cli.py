@@ -333,6 +333,11 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--plant-bug", action="store_true",
                        help="enable the planted spare-pool double-release "
                             "(validates the auditor + shrinker pipeline)")
+    chaos.add_argument("--plant-race", action="store_true",
+                       help="run switchover unguarded (pre-hardening "
+                            "behaviour: no serial/episode staleness check, "
+                            "acks, retries, or demotion) so the auditor + "
+                            "shrinker must catch the channel-switching race")
     chaos.add_argument("--artifact-dir", metavar="DIR", default=".",
                        help="where shrunk failure artifacts are written "
                             "(default: current directory)")
@@ -351,7 +356,8 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--spec", metavar="PATH", default=None,
                        help="drive the campaign from a one-cell grid-family "
                             "repro.scenario/1 spec file instead of the "
-                            "flags above (--slo/--plant-bug still apply)")
+                            "flags above (--slo/--plant-bug/--plant-race "
+                            "still apply)")
 
     matrix = subparsers.add_parser(
         "matrix", help="expand, diff, and run declarative scenario "
@@ -684,7 +690,10 @@ def _run_chaos(args: argparse.Namespace) -> tuple[str, int]:
             seed=args.seed,
         )
     environment = chaos_environment_from_spec(spec)
-    config = spec.protocol.config(debug_double_release=args.plant_bug)
+    config = spec.protocol.config(
+        debug_double_release=args.plant_bug,
+        debug_unguarded_switchover=args.plant_race,
+    )
     network = environment.build()
     profiles = spec.workload.profiles or None
     schedules = (

@@ -22,6 +22,7 @@ which wires daemons and RCC links up from a loaded
 
 from repro.protocol.config import ProtocolConfig, RCCParams, SwitchingScheme
 from repro.protocol.messages import (
+    ActivationAck,
     ActivationMessage,
     ChannelClosure,
     Direction,
@@ -45,7 +46,7 @@ from repro.protocol.signaling import (
     SignalingSession,
     establishment_latency,
 )
-from repro.protocol.states import LocalChannelState
+from repro.protocol.states import ChannelEvent, LocalChannelState
 
 __all__ = [
     "ProtocolSimulation",
@@ -61,11 +62,13 @@ __all__ = [
     "RCCParams",
     "SwitchingScheme",
     "LocalChannelState",
+    "ChannelEvent",
     "InvariantAuditor",
     "InvariantViolation",
     "Direction",
     "FailureReport",
     "ActivationMessage",
+    "ActivationAck",
     "RejoinRequest",
     "RejoinConfirm",
     "ChannelClosure",

@@ -110,6 +110,19 @@ class ProtocolConfig:
     heartbeat_detection: bool = False
     heartbeat_period: float = 2.0
     heartbeat_miss_threshold: int = 3
+    #: Switchover handshake (Section 4.2 hardening): an end-node that
+    #: initiates an activation expects an end-to-end ActivationAck from
+    #: the far end-node within ``switchover_ack_timeout``; on expiry it
+    #: resends, backing off geometrically by ``switchover_backoff`` per
+    #: attempt, up to ``switchover_retry_limit`` retries.  Exhaustion
+    #: declares the backup dead (U) and falls through to the next backup
+    #: or to source-initiated re-establishment — the handshake never
+    #: wedges in soft state.  The default timeout covers a worst-case
+    #: report + activation + ack traversal over the RCC (a few give-up
+    #: free hop round trips at D_max = 1.0).
+    switchover_ack_timeout: float = 12.0
+    switchover_retry_limit: int = 2
+    switchover_backoff: float = 2.0
     #: Planted bug for validating the invariant auditor (never enable
     #: outside tests/chaos validation): releasing an activation draw also
     #: credits the bandwidth back into the runtime's spare pool, i.e. a
@@ -117,6 +130,15 @@ class ProtocolConfig:
     #: check must catch it, and the chaos shrinker must reduce a failing
     #: campaign schedule to a minimal reproducing event sequence.
     debug_double_release: bool = False
+    #: Planted race for validating the invariant auditor (never enable
+    #: outside tests/chaos validation): disables every switchover guard —
+    #: episode/serial staleness rejection, stale-primary demotion, the
+    #: activation ack/retry layer, and duplicate-report suppression —
+    #: restoring the unguarded pre-hardening handshake.  Regional/cascade
+    #: chaos schedules then drive the endpoints into `multiple-active` /
+    #: `endpoint-disagreement` violations the auditor must catch and the
+    #: shrinker must reduce.
+    debug_unguarded_switchover: bool = False
 
     def __post_init__(self) -> None:
         check_non_negative(self.detection_delay, "detection_delay")
@@ -131,6 +153,17 @@ class ProtocolConfig:
             )
         check_probability(self.frame_loss_probability, "frame_loss_probability")
         check_positive(self.rejoin_probe_interval, "rejoin_probe_interval")
+        check_positive(self.switchover_ack_timeout, "switchover_ack_timeout")
+        if self.switchover_retry_limit < 0:
+            raise ValueError(
+                f"switchover_retry_limit must be >= 0, got "
+                f"{self.switchover_retry_limit}"
+            )
+        if self.switchover_backoff < 1.0:
+            raise ValueError(
+                f"switchover_backoff must be >= 1.0, got "
+                f"{self.switchover_backoff}"
+            )
         check_positive(self.heartbeat_period, "heartbeat_period")
         if self.heartbeat_miss_threshold < 1:
             raise ValueError(
@@ -142,3 +175,16 @@ class ProtocolConfig:
     def ack_timeout(self) -> float:
         """How long a frame waits for its hop-by-hop ack before resending."""
         return self.ack_timeout_factor * 2.0 * self.rcc.max_delay
+
+    @property
+    def switchover_retry_window(self) -> float:
+        """Worst-case wall time one backup's handshake can occupy: the
+        geometric sum of the initial wait plus every backed-off retry."""
+        attempts = self.switchover_retry_limit + 1
+        if self.switchover_backoff == 1.0:
+            return self.switchover_ack_timeout * attempts
+        return (
+            self.switchover_ack_timeout
+            * (self.switchover_backoff ** attempts - 1.0)
+            / (self.switchover_backoff - 1.0)
+        )

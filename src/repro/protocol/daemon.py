@@ -26,6 +26,7 @@ from repro.obs.registry import get_registry
 from repro.obs.spans import NULL_SPAN_LOG
 from repro.protocol.config import SwitchingScheme
 from repro.protocol.messages import (
+    ActivationAck,
     ActivationMessage,
     ChannelClosure,
     ControlMessage,
@@ -34,7 +35,11 @@ from repro.protocol.messages import (
     RejoinConfirm,
     RejoinRequest,
 )
-from repro.protocol.states import LocalChannelRecord, LocalChannelState
+from repro.protocol.states import (
+    ChannelEvent,
+    LocalChannelRecord,
+    LocalChannelState,
+)
 from repro.routing.paths import Path
 from repro.sim.timers import PeriodicTimer, Timeout
 
@@ -69,6 +74,14 @@ class EndpointView:
     unhealthy: set[int] = field(default_factory=set)
     attempted: set[int] = field(default_factory=set)
     recovering: bool = False
+    #: Serial of ``current_channel`` — the serial-number rule's anchor:
+    #: an incoming activation for a lower (episode, serial) pair is stale.
+    current_serial: int = 0
+    #: Recovery round for this connection at this end-node; bumped every
+    #: time the channel currently carrying data is learned dead.  Carried
+    #: by activations/acks so late duplicates from an earlier round are
+    #: rejected deterministically.
+    episode: int = 0
 
     def next_backup(self) -> "BackupInfo | None":
         """Lowest-serial backup believed healthy and not yet attempted —
@@ -82,6 +95,16 @@ class EndpointView:
         return None
 
 
+@dataclass
+class _PendingActivation:
+    """One in-flight switchover handshake at its initiating end-node."""
+
+    backup: BackupInfo
+    episode: int
+    attempts: int
+    timer: Timeout
+
+
 class BCPDaemon:
     """The BCP agent at one node."""
 
@@ -92,6 +115,9 @@ class BCPDaemon:
         self.views: dict[int, EndpointView] = {}
         self._rejoin_timers: dict[int, Timeout] = {}
         self._probe_timers: dict[int, PeriodicTimer] = {}
+        #: In-flight switchover handshakes this end-node initiated, keyed
+        #: by connection id (at most one per connection).
+        self._pending: dict[int, _PendingActivation] = {}
         # Network-wide control-plane counters, shared by every daemon of
         # the runtime (stub runtimes without .obs fall back to the
         # session registry).
@@ -99,6 +125,15 @@ class BCPDaemon:
         self._c_detections = obs.counter("protocol.detections")
         self._c_reports = obs.counter("protocol.reports_sent")
         self._c_received = obs.counter("protocol.messages_received")
+        self._c_so_episodes = obs.counter("switchover.episodes")
+        self._c_so_duplicates = obs.counter("switchover.duplicates")
+        self._c_so_stale = obs.counter("switchover.stale_dropped")
+        self._c_so_retries = obs.counter("switchover.retries")
+        self._c_so_exhausted = obs.counter("switchover.retry_exhausted")
+        self._c_so_demotions = obs.counter("switchover.demotions")
+        self._c_so_acks = obs.counter("switchover.acks")
+        self._c_so_completed = obs.counter("switchover.completed")
+        self._c_so_fallbacks = obs.counter("switchover.fallbacks")
         # Causal span log shared with the runtime (stub runtimes without
         # .spans get the inert one).  Note: an *empty* SpanLog is falsy
         # (it has __len__), so this must be a None check, not ``or``.
@@ -127,7 +162,14 @@ class BCPDaemon:
             node=self.node,
             mux_degree=mux_degree,
         )
-        record.transition(state)
+        event = (
+            ChannelEvent.ESTABLISH_PRIMARY
+            if state is LocalChannelState.PRIMARY
+            else ChannelEvent.ESTABLISH_BACKUP
+            if state is LocalChannelState.BACKUP
+            else None
+        )
+        record.transition(state, event)
         self.records[channel_id] = record
         return record
 
@@ -196,15 +238,54 @@ class BCPDaemon:
             timer.cancel()
         for timer in self._probe_timers.values():
             timer.stop()
+        for pending in self._pending.values():
+            pending.timer.cancel()
+        self._pending.clear()
 
     def on_repaired(self) -> None:
         """The node came back: re-arm soft-state expiry for channels that
         were unhealthy at crash time, so they either rejoin or tear down
         instead of lingering in U forever (their timers were cancelled by
-        :meth:`on_crashed`)."""
+        :meth:`on_crashed`), and reconcile the endpoint views.
+
+        A repaired end-node cannot trust its frozen connection views: the
+        far end may have switched channels, exhausted every backup, or
+        torn soft state down while this node was dark.  Marking the
+        (pre-crash) current channel suspect and opening a fresh recovery
+        round resynchronizes both ends through the guarded handshake —
+        either on a surviving channel, or into a consistent unrecoverable
+        verdict.
+        """
         for record in self.records.values():
             if record.state is LocalChannelState.UNHEALTHY:
                 self._start_rejoin_timer(record)
+        if self._config.debug_unguarded_switchover:
+            return
+        for view in self.views.values():
+            view.unhealthy.add(view.current_channel)
+            view.episode += 1
+            self._c_so_episodes.inc()
+            view.recovering = False
+            self._trace(
+                "switchover",
+                f"end-node repaired; reconciling connection "
+                f"{view.connection_id} (pre-crash channel "
+                f"{view.current_channel} is suspect)",
+            )
+            if view.role == "source":
+                # Probe everything believed dead: a channel whose soft
+                # state survived elsewhere can heal back into a standby.
+                for channel_id in sorted(view.unhealthy):
+                    probed = self.records.get(channel_id)
+                    if (
+                        probed is not None
+                        and probed.is_source
+                        and probed.state is not LocalChannelState.NON_EXISTENT
+                    ):
+                        self.start_rejoin_probe(channel_id)
+                        self._start_probe_timer(channel_id)
+            if self._initiates_activation(view):
+                self._initiate_recovery(view)
 
     def _rejoin_expired(self, channel_id: int) -> None:
         if not self._alive():
@@ -213,7 +294,7 @@ class BCPDaemon:
         if record is None or record.state is not LocalChannelState.UNHEALTHY:
             return
         # Soft-state teardown: the channel's local resources are released.
-        record.transition(LocalChannelState.NON_EXISTENT)
+        record.transition(LocalChannelState.NON_EXISTENT, ChannelEvent.EXPIRE)
         self._trace(
             "teardown",
             f"rejoin timer expired; channel {channel_id} released",
@@ -251,7 +332,7 @@ class BCPDaemon:
         self, record: LocalChannelRecord, side: _FailureSide, component
     ) -> None:
         if record.state in (LocalChannelState.PRIMARY, LocalChannelState.BACKUP):
-            record.transition(LocalChannelState.UNHEALTHY)
+            record.transition(LocalChannelState.UNHEALTHY, ChannelEvent.FAIL)
             self._start_rejoin_timer(record)
             self._c_detections.inc()
             self._trace(
@@ -327,6 +408,8 @@ class BCPDaemon:
             self._receive_failure_report(record, message)
         elif isinstance(message, ActivationMessage):
             self._receive_activation(record, message)
+        elif isinstance(message, ActivationAck):
+            self._receive_activation_ack(record, message)
         elif isinstance(message, RejoinRequest):
             self._receive_rejoin_request(record, message)
         elif isinstance(message, RejoinConfirm):
@@ -344,7 +427,7 @@ class BCPDaemon:
         ):
             return  # duplicate: already seen/forwarded this episode
         if record.state in (LocalChannelState.PRIMARY, LocalChannelState.BACKUP):
-            record.transition(LocalChannelState.UNHEALTHY)
+            record.transition(LocalChannelState.UNHEALTHY, ChannelEvent.FAIL)
             self._start_rejoin_timer(record)
         if record.state is LocalChannelState.NON_EXISTENT:
             return  # already torn down; nothing to do or forward
@@ -367,6 +450,24 @@ class BCPDaemon:
     ) -> None:
         view = self.views.get(record.connection_id)
         if view is None:  # pragma: no cover - every endpoint has a view
+            return
+        guarded = not self._config.debug_unguarded_switchover
+        if guarded and record.channel_id in view.unhealthy:
+            # Duplicate report for a channel this end-node already knows
+            # is dead (e.g. a component report racing a mux report, or an
+            # exhaustion declaration racing the real failure report) —
+            # recovery already ran for it; re-running would double-attempt.
+            # But if this end learned of the death *implicitly* (by
+            # adopting the far end's activation), this report is the first
+            # confirmed sighting — make sure the source is probing for a
+            # repair (both calls are idempotent).
+            self._c_so_duplicates.inc()
+            if (
+                view.role == "source"
+                and record.state is LocalChannelState.UNHEALTHY
+            ):
+                self.start_rejoin_probe(record.channel_id)
+                self._start_probe_timer(record.channel_id)
             return
         view.unhealthy.add(record.channel_id)
         self._trace(
@@ -391,6 +492,12 @@ class BCPDaemon:
             self._start_probe_timer(record.channel_id)
         if record.channel_id != view.current_channel:
             return  # a standby backup failed; health table updated, done
+        if guarded:
+            # The channel carrying data died: a new recovery round starts.
+            # Any handshake still in flight is for a dead channel — drop it.
+            view.episode += 1
+            self._c_so_episodes.inc()
+            self._cancel_pending(view.connection_id)
         if not self._initiates_activation(view):
             return
         self._initiate_recovery(view)
@@ -408,6 +515,7 @@ class BCPDaemon:
         view.recovering = True
         backup = view.next_backup()
         if backup is None:
+            view.recovering = False
             self.runtime.metrics.note_unrecoverable(
                 view.connection_id, self.runtime.engine.now, self.node
             )
@@ -440,8 +548,10 @@ class BCPDaemon:
             return
         if backup.channel_id in view.attempted:
             return
+        guarded = not self._config.debug_unguarded_switchover
         view.attempted.add(backup.channel_id)
         view.current_channel = backup.channel_id
+        view.current_serial = backup.serial
         self._trace(
             "activation",
             f"activating backup serial {backup.serial} of connection "
@@ -465,7 +575,11 @@ class BCPDaemon:
             # Already promoted by the other end's activation sweeping the
             # whole path, or already failed; nothing to send.
             return
-        record.transition(LocalChannelState.PRIMARY)
+        record.transition(LocalChannelState.PRIMARY, ChannelEvent.ACTIVATE)
+        if guarded:
+            # Idempotence: at most one primary per connection at this
+            # node — the endpoint's own activation supersedes any other.
+            self._demote_stale_primaries(record, all_serials=True)
         # The endpoint draws its own outgoing link (the source end);
         # the destination end owns no forward link on the channel.
         if view.role == "source":
@@ -480,19 +594,51 @@ class BCPDaemon:
                     direction=direction,
                     connection_id=view.connection_id,
                     serial=backup.serial,
+                    episode=view.episode,
                 ),
             )
+            if guarded:
+                self._arm_pending(view, backup)
 
     def _receive_activation(
         self, record: LocalChannelRecord, message: ActivationMessage
     ) -> None:
+        if self._config.debug_unguarded_switchover:
+            self._receive_activation_unguarded(record, message)
+            return
+        next_hop = self._next_hop(record, message.direction)
+        if next_hop is None:
+            self._activation_reaches_endpoint(record, message)
+            return
+        # Intermediate hop of the activation sweep.
+        if record.state is LocalChannelState.BACKUP:
+            record.transition(LocalChannelState.PRIMARY, ChannelEvent.ACTIVATE)
+            self._demote_stale_primaries(record)
+            if not self._draw_or_mux_fail(record):
+                return
+            self._send(next_hop, message)
+        elif record.state is LocalChannelState.PRIMARY:
+            # A crossing or duplicate sweep of an already-active channel
+            # (scheme 3 activates from both ends): nothing to promote or
+            # draw, but the message must still reach the far end-node so
+            # its handshake completes instead of timing out.
+            self._send(next_hop, message)
+        # U / N: the activation dies here (Fig. 4); the initiator's
+        # retry/backoff layer deals with the silence.
+
+    def _receive_activation_unguarded(
+        self, record: LocalChannelRecord, message: ActivationMessage
+    ) -> None:
+        """The pre-hardening switchover path (``debug_unguarded_switchover``):
+        no episode/serial staleness guard, no demotion, no acks — and a
+        crossing sweep dies at the first already-primary record."""
         if record.state is LocalChannelState.UNHEALTHY:
             return  # Fig. 4: activation in U is ignored
         if record.state is LocalChannelState.PRIMARY:
             return  # already activated from the other end; discard
         if record.state is LocalChannelState.NON_EXISTENT:
             return
-        record.transition(LocalChannelState.PRIMARY)
+        record.transition(LocalChannelState.PRIMARY, ChannelEvent.ACTIVATE)
         if record.is_source:
             # Scheme 1/3: the destination-initiated activation reached the
             # source; the source can now resume data transfer.
@@ -513,6 +659,307 @@ class BCPDaemon:
         if next_hop is not None:
             self._send(next_hop, message)
 
+    def _activation_reaches_endpoint(
+        self, record: LocalChannelRecord, message: ActivationMessage
+    ) -> None:
+        """The activation arrived at its target end-node: accept, adopt, or
+        reject it by the (episode, serial) order, and acknowledge every
+        accepted (or repeated) activation end-to-end."""
+        view = self.views.get(record.connection_id)
+        if view is None:  # pragma: no cover - every endpoint has a view
+            return
+        if message.episode < view.episode or (
+            message.episode == view.episode
+            and message.serial < view.current_serial
+        ):
+            # A leftover from an earlier recovery round, or a lower serial
+            # than what this end already carries: deterministically stale.
+            self._c_so_stale.inc()
+            self._trace(
+                "switchover",
+                f"stale activation (serial {message.serial}, episode "
+                f"{message.episode}) for connection {record.connection_id} "
+                f"dropped",
+            )
+            return
+        changed = (
+            record.state is LocalChannelState.BACKUP
+            or view.current_channel != record.channel_id
+        )
+        advanced = (
+            message.episode > view.episode
+            or message.serial > view.current_serial
+        )
+        if advanced:
+            self._adopt_activation(view, message)
+        if record.state is LocalChannelState.BACKUP:
+            record.transition(LocalChannelState.PRIMARY, ChannelEvent.ACTIVATE)
+        if record.state is not LocalChannelState.PRIMARY:
+            # Locally dead (U) or torn down (N): cannot carry data.  If we
+            # just adopted the far end's round, we hold *no* valid serial
+            # in it — clear the serial floor so the far end's next attempt
+            # (possibly a lower, healed serial) is not rejected as stale.
+            if advanced:
+                view.current_serial = -1
+            return
+        self._demote_stale_primaries(record, all_serials=True)
+        view.current_channel = record.channel_id
+        view.current_serial = record.serial
+        view.attempted.add(record.channel_id)
+        if not record.is_destination and changed:
+            if not self._draw_or_mux_fail(record):
+                return  # mux failure mid-switchover: reports + fallback ran
+        if changed:
+            if record.is_source:
+                self.runtime.metrics.note_source_resumed(
+                    record.connection_id, record.serial,
+                    self.runtime.engine.now,
+                )
+                if self._spans.enabled:
+                    self._span_point("resumed", record.connection_id,
+                                     serial=record.serial)
+        pending = self._pending.get(record.connection_id)
+        if pending is not None and pending.backup.channel_id == record.channel_id:
+            # Counterpart activation (scheme 3): the far end is provably on
+            # this same channel — as good as an ack.
+            self._complete_pending(view, pending, how="counterpart")
+        view.recovering = False
+        ack_direction = message.direction.reverse()
+        ack_hop = self._next_hop(record, ack_direction)
+        if ack_hop is not None:
+            # Idempotent re-ack: repeats of an accepted activation are
+            # re-acknowledged so a lost ack only costs one retry.
+            self._send(
+                ack_hop,
+                ActivationAck(
+                    channel_id=record.channel_id,
+                    direction=ack_direction,
+                    connection_id=record.connection_id,
+                    serial=message.serial,
+                    episode=message.episode,
+                ),
+            )
+
+    def _adopt_activation(
+        self, view: EndpointView, message: ActivationMessage
+    ) -> None:
+        """The far end is ahead of us (higher episode, or higher serial in
+        the same round): adopt its position.  The serial rule means it only
+        reached ``message.serial`` after every lower serial failed, so mark
+        those dead here too."""
+        if message.episode > view.episode:
+            view.episode = message.episode
+            self._c_so_episodes.inc()
+        if view.current_serial < message.serial:
+            view.unhealthy.add(view.current_channel)
+        for info in view.backups:
+            if info.serial < message.serial:
+                view.unhealthy.add(info.channel_id)
+                view.attempted.add(info.channel_id)
+        # Whatever handshake we had in flight is superseded.
+        self._cancel_pending(view.connection_id)
+        self._trace(
+            "switchover",
+            f"adopted activation serial {message.serial} (episode "
+            f"{message.episode}) from the far end-node for connection "
+            f"{view.connection_id}",
+        )
+
+    def _demote_stale_primaries(
+        self, record: LocalChannelRecord, all_serials: bool = False
+    ) -> None:
+        """Exactly-one-primary idempotence: when a channel is promoted at
+        this node, any same-connection primary with a *lower* serial is a
+        leftover whose failure report this node never saw — demote it to U
+        (its rejoin timer then heals or reclaims it).
+
+        End-nodes pass ``all_serials=True``: an endpoint's activation is
+        authoritative for its episode (the episode guard already rejected
+        stale rounds), and a reconciliation round may deliberately restore
+        a healed *lower* serial over a dead higher one.  Intermediate
+        sweeps keep the lower-only rule — an old sweep still in flight
+        must never demote a newer primary it crosses."""
+        for other in self.records.values():
+            if (
+                other.connection_id != record.connection_id
+                or other.channel_id == record.channel_id
+                or (not all_serials and other.serial >= record.serial)
+                or other.state is not LocalChannelState.PRIMARY
+            ):
+                continue
+            other.transition(LocalChannelState.UNHEALTHY, ChannelEvent.FAIL)
+            self._start_rejoin_timer(other)
+            self._c_so_demotions.inc()
+            self._trace(
+                "switchover",
+                f"demoted stale primary channel {other.channel_id} "
+                f"(serial {other.serial}) superseded by serial "
+                f"{record.serial}",
+            )
+            if self._spans.enabled:
+                self._span_point(
+                    "switchover-demote", record.connection_id,
+                    channel=other.channel_id, serial=other.serial,
+                    superseded_by=record.serial,
+                )
+            view = self.views.get(record.connection_id)
+            if view is not None:
+                view.unhealthy.add(other.channel_id)
+
+    # -- switchover handshake retry/backoff --------------------------------
+    def _arm_pending(self, view: EndpointView, backup: BackupInfo) -> None:
+        """Start the ack timer for an activation this end-node just sent."""
+        self._cancel_pending(view.connection_id)
+        timer = Timeout(
+            self.runtime.engine,
+            self._config.switchover_ack_timeout,
+            lambda cid=view.connection_id: self._activation_retry(cid),
+        )
+        self._pending[view.connection_id] = _PendingActivation(
+            backup=backup, episode=view.episode, attempts=0, timer=timer,
+        )
+        timer.start()
+
+    def _cancel_pending(self, connection_id: int) -> None:
+        pending = self._pending.pop(connection_id, None)
+        if pending is not None:
+            pending.timer.cancel()
+
+    def _complete_pending(
+        self, view: EndpointView, pending: _PendingActivation, how: str
+    ) -> None:
+        pending.timer.cancel()
+        self._pending.pop(view.connection_id, None)
+        view.recovering = False
+        self._c_so_completed.inc()
+        if self._spans.enabled:
+            self._span_point(
+                "activation-ack", view.connection_id,
+                serial=pending.backup.serial, episode=pending.episode,
+                how=how, attempts=pending.attempts,
+            )
+
+    def _activation_retry(self, connection_id: int) -> None:
+        """Ack timer fired: resend the activation with backoff, or give the
+        backup up after ``switchover_retry_limit`` resends."""
+        if not self._alive():
+            return
+        pending = self._pending.get(connection_id)
+        view = self.views.get(connection_id)
+        if pending is None or view is None:
+            return
+        backup = pending.backup
+        record = self.records.get(backup.channel_id)
+        if (
+            view.current_channel != backup.channel_id
+            or view.episode != pending.episode
+            or backup.channel_id in view.unhealthy
+            or record is None
+            or record.state is not LocalChannelState.PRIMARY
+        ):
+            # The world moved on (re-failure, adoption, closure) while the
+            # timer was in flight; the handshake is moot.
+            self._cancel_pending(connection_id)
+            return
+        if pending.attempts >= self._config.switchover_retry_limit:
+            self._exhaust_pending(view, pending)
+            return
+        pending.attempts += 1
+        self._c_so_retries.inc()
+        self._trace(
+            "switchover",
+            f"activation of serial {backup.serial} unacked; resend "
+            f"{pending.attempts}/{self._config.switchover_retry_limit}",
+        )
+        if self._spans.enabled:
+            self._span_point(
+                "activation-retry", connection_id,
+                serial=backup.serial, episode=pending.episode,
+                attempt=pending.attempts,
+            )
+        direction = (
+            Direction.TO_DESTINATION if view.role == "source"
+            else Direction.TO_SOURCE
+        )
+        next_hop = self._next_hop(record, direction)
+        if next_hop is not None:
+            self._send(
+                next_hop,
+                ActivationMessage(
+                    channel_id=backup.channel_id,
+                    direction=direction,
+                    connection_id=connection_id,
+                    serial=backup.serial,
+                    episode=pending.episode,
+                ),
+            )
+        pending.timer.duration = self._config.switchover_ack_timeout * (
+            self._config.switchover_backoff ** pending.attempts
+        )
+        pending.timer.start()
+
+    def _exhaust_pending(
+        self, view: EndpointView, pending: _PendingActivation
+    ) -> None:
+        """Graceful degradation: the handshake never completed — declare
+        the backup dead and fall through to the next backup, or to
+        source-initiated re-establishment, instead of wedging."""
+        self._cancel_pending(view.connection_id)
+        backup = pending.backup
+        self._c_so_exhausted.inc()
+        self._trace(
+            "switchover",
+            f"activation of serial {backup.serial} exhausted its retries; "
+            f"declaring the backup dead and falling back",
+        )
+        if self._spans.enabled:
+            self._span_point(
+                "switchover-exhausted", view.connection_id,
+                serial=backup.serial, episode=pending.episode,
+                attempts=pending.attempts,
+            )
+        record = self.records.get(backup.channel_id)
+        if record is not None and record.state is LocalChannelState.PRIMARY:
+            record.transition(LocalChannelState.UNHEALTHY, ChannelEvent.FAIL)
+            self._start_rejoin_timer(record)
+            # Tell the rest of the path (and the far end, if reachable)
+            # the attempt is abandoned, so promoted hops release.
+            away = (
+                Direction.TO_DESTINATION if view.role == "source"
+                else Direction.TO_SOURCE
+            )
+            self._emit_report(record, away, None)
+        view.unhealthy.add(backup.channel_id)
+        view.episode += 1
+        self._c_so_episodes.inc()
+        self._c_so_fallbacks.inc()
+        self._initiate_recovery(view)
+
+    def _receive_activation_ack(
+        self, record: LocalChannelRecord, ack: ActivationAck
+    ) -> None:
+        next_hop = self._next_hop(record, ack.direction)
+        if next_hop is not None:
+            # Acks ride the channel's path hop-by-hop regardless of the
+            # local record state; a dead hop just loses the ack and the
+            # initiator re-sends.
+            self._send(next_hop, ack)
+            return
+        view = self.views.get(record.connection_id)
+        if view is None:
+            return
+        pending = self._pending.get(record.connection_id)
+        if (
+            pending is not None
+            and pending.backup.serial == ack.serial
+            and pending.episode == ack.episode
+        ):
+            self._c_so_acks.inc()
+            self._complete_pending(view, pending, how="ack")
+        # No pending (the counterpart sweep already completed the
+        # handshake) or a mismatched round: nothing to do — acks are
+        # purely confirmations and never create state.
+
     def _draw_or_mux_fail(self, record: LocalChannelRecord) -> bool:
         """Draw this node's outgoing backup-path link from the spare pool;
         on exhaustion, declare a multiplexing failure (Section 3.3)."""
@@ -530,7 +977,7 @@ class BCPDaemon:
         # Spare exhausted: the backup cannot function (mux failure).  The
         # channel enters U and both end-nodes are told, exactly like a
         # component failure (Section 4.1).
-        record.transition(LocalChannelState.UNHEALTHY)
+        record.transition(LocalChannelState.UNHEALTHY, ChannelEvent.FAIL)
         self._start_rejoin_timer(record)
         self._trace(
             "mux-failure",
@@ -557,7 +1004,7 @@ class BCPDaemon:
         if record is None:
             return
         if record.state is LocalChannelState.PRIMARY:
-            record.transition(LocalChannelState.UNHEALTHY)
+            record.transition(LocalChannelState.UNHEALTHY, ChannelEvent.FAIL)
             self._start_rejoin_timer(record)
         self._trace(
             "preemption",
@@ -583,8 +1030,11 @@ class BCPDaemon:
             )
         if record.state is LocalChannelState.NON_EXISTENT:
             return
-        record.transition(LocalChannelState.NON_EXISTENT)
+        record.transition(LocalChannelState.NON_EXISTENT, ChannelEvent.CLOSE)
         self._cancel_rejoin_timer(channel_id)
+        pending = self._pending.get(record.connection_id)
+        if pending is not None and pending.backup.channel_id == channel_id:
+            self._cancel_pending(record.connection_id)
         self.runtime.release_channel_at_node(channel_id, self.node)
         self._trace("closure", f"tearing down channel {channel_id}")
         if record.downstream is not None:
@@ -652,7 +1102,7 @@ class BCPDaemon:
             record.mux_failed_link = None
         if record.is_destination:
             if record.state is LocalChannelState.UNHEALTHY:
-                record.transition(LocalChannelState.BACKUP)
+                record.transition(LocalChannelState.BACKUP, ChannelEvent.REJOIN)
                 self._cancel_rejoin_timer(record.channel_id)
                 self._refresh_view_after_rejoin(record)
                 self.runtime.metrics.note_rejoined(
@@ -680,7 +1130,7 @@ class BCPDaemon:
                 )
             return
         if record.state is LocalChannelState.UNHEALTHY:
-            record.transition(LocalChannelState.BACKUP)
+            record.transition(LocalChannelState.BACKUP, ChannelEvent.REJOIN)
             self._cancel_rejoin_timer(record.channel_id)
         if record.is_source:
             self._refresh_view_after_rejoin(record)
@@ -716,13 +1166,34 @@ class BCPDaemon:
                     mux_degree=record.mux_degree,
                 )
             )
+        if (
+            not self._config.debug_unguarded_switchover
+            and view.current_channel in view.unhealthy
+            and not view.recovering
+            and self._initiates_activation(view)
+        ):
+            # Service is down at this end (every backup was exhausted in an
+            # earlier round) and a channel just healed into standby:
+            # restore service over it with a fresh handshake round instead
+            # of staying adrift on an abandoned channel.
+            view.episode += 1
+            self._c_so_episodes.inc()
+            self._trace(
+                "switchover",
+                f"channel {record.channel_id} healed while connection "
+                f"{record.connection_id} was down; restoring service",
+            )
+            self._initiate_recovery(view)
 
     def _receive_closure(
         self, record: LocalChannelRecord, message: ChannelClosure
     ) -> None:
         if record.state is not LocalChannelState.NON_EXISTENT:
-            record.transition(LocalChannelState.NON_EXISTENT)
+            record.transition(LocalChannelState.NON_EXISTENT, ChannelEvent.CLOSE)
             self._cancel_rejoin_timer(record.channel_id)
+            pending = self._pending.get(record.connection_id)
+            if pending is not None and pending.backup.channel_id == record.channel_id:
+                self._cancel_pending(record.connection_id)
             self.runtime.release_channel_at_node(record.channel_id, self.node)
         next_hop = self._next_hop(record, message.direction)
         if next_hop is not None:

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.network.components import LinkId
-from repro.protocol.states import LocalChannelState
+from repro.protocol.states import LocalChannelState, allowed_transitions
 
 #: Bandwidth slack for conservation comparisons, matching the ledger's
 #: admission tolerance.
@@ -34,6 +34,19 @@ _EPSILON = 1e-9
 #: Collection cap: a badly broken run violates the same invariant after
 #: every event; past this many records the rest add nothing.
 MAX_VIOLATIONS = 200
+
+#: The Fig. 4 closure the auditor audits against, spelled out
+#: independently of ``repro.protocol.states``: N establishes into P or B,
+#: P fails or closes, B activates/fails/closes, U rejoins/expires/closes.
+#: ``attach()`` cross-checks this against the runtime's explicit
+#: event-labelled ``TRANSITIONS`` table, so the two can never drift apart
+#: silently.
+EXPECTED_TRANSITIONS: dict[str, frozenset[str]] = {
+    "N": frozenset({"P", "B"}),
+    "P": frozenset({"U", "N"}),
+    "B": frozenset({"P", "U", "N"}),
+    "U": frozenset({"B", "N"}),
+}
 
 
 @dataclass(frozen=True, slots=True)
@@ -100,6 +113,7 @@ class InvariantAuditor:
         if self._attached:
             return
         self._attached = True
+        self._check_transition_table()
         self._baseline_spares = dict(self.simulation._spare_pools)
         for rcc in self.simulation._rcc.values():
             rcc.on_frame_delivered = self._chain(
@@ -200,6 +214,23 @@ class InvariantAuditor:
         self._check_draw_leaks()
         self._check_single_active()
         self._check_soft_state_expired()
+        self._check_no_pending_handshakes()
+
+    # -- state-machine table consistency ----------------------------------
+    def _check_transition_table(self) -> None:
+        """The runtime's explicit (state, event) -> state table must close
+        to exactly the Fig. 4 closure the auditor expects; a drift means a
+        transition was added or dropped without updating the audit."""
+        actual = {
+            state.value: frozenset(t.value for t in targets)
+            for state, targets in allowed_transitions().items()
+        }
+        if actual != EXPECTED_TRANSITIONS:
+            self.record(
+                "transition-table", "states.TRANSITIONS",
+                f"runtime closure {actual!r} != audited Fig. 4 closure "
+                f"{EXPECTED_TRANSITIONS!r}",
+            )
 
     # -- reservation conservation ----------------------------------------
     def _check_conservation(self) -> None:
@@ -336,3 +367,23 @@ class InvariantAuditor:
                         f"still UNHEALTHY at node {node!r} after the run "
                         f"drained; its rejoin timer never resolved it",
                     )
+
+    # -- no wedged switchover handshakes ----------------------------------
+    def _check_no_pending_handshakes(self) -> None:
+        """With the event heap drained, no alive end-node may still carry
+        an in-flight switchover handshake: its retry timer either got an
+        ack/counterpart or exhausted into the fallback path.  A survivor
+        means the retry/backoff layer lost a timer."""
+        simulation = self.simulation
+        for node, daemon in simulation.daemons.items():
+            if not simulation.node_up(node):
+                continue
+            for connection_id, pending in getattr(
+                daemon, "_pending", {}
+            ).items():
+                self.record(
+                    "stuck-soft-state", f"connection {connection_id}",
+                    f"switchover handshake for backup serial "
+                    f"{pending.backup.serial} still pending at node "
+                    f"{node!r} after the run drained",
+                )

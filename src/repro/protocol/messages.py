@@ -48,12 +48,31 @@ class ActivationMessage(ControlMessage):
     """Activate a backup channel (``channel_id`` is the backup's id).
 
     ``serial`` lets both end-nodes verify they are activating the same
-    backup (Section 4.2).
+    backup (Section 4.2); ``episode`` is the sending end-node's recovery
+    round for the connection, so a late duplicate from an earlier failure
+    round is rejected deterministically instead of racing the current
+    switchover.
     """
 
     direction: Direction = Direction.TO_DESTINATION
     connection_id: int = -1
     serial: int = 0
+    episode: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ActivationAck(ControlMessage):
+    """End-to-end acknowledgment of an :class:`ActivationMessage`.
+
+    Sent by the far end-node back along the backup's path once the
+    activation reached it; the initiating end-node cancels its
+    retry/backoff timer on a matching ``(connection, serial, episode)``.
+    """
+
+    direction: Direction = Direction.TO_SOURCE
+    connection_id: int = -1
+    serial: int = 0
+    episode: int = 0
 
 
 @dataclass(frozen=True, slots=True)

@@ -411,6 +411,7 @@ class ProtocolSimulation:
                         destination=connection.destination,
                         role=role,
                         current_channel=connection.primary.channel_id,
+                        current_serial=connection.primary.serial,
                         backups=[
                             BackupInfo(
                                 channel_id=info.channel_id,

@@ -25,28 +25,72 @@ class LocalChannelState(enum.Enum):
     UNHEALTHY = "U"
 
 
-#: Legal transitions of the Fig. 4 state machine (event-agnostic closure).
-_ALLOWED: dict[LocalChannelState, frozenset[LocalChannelState]] = {
-    LocalChannelState.NON_EXISTENT: frozenset(
-        {LocalChannelState.PRIMARY, LocalChannelState.BACKUP}
-    ),
-    LocalChannelState.PRIMARY: frozenset(
-        {LocalChannelState.UNHEALTHY, LocalChannelState.NON_EXISTENT}
-    ),
-    LocalChannelState.BACKUP: frozenset(
-        {
-            LocalChannelState.PRIMARY,  # activation
-            LocalChannelState.UNHEALTHY,
-            LocalChannelState.NON_EXISTENT,  # teardown
-        }
-    ),
-    LocalChannelState.UNHEALTHY: frozenset(
-        {
-            LocalChannelState.BACKUP,  # repair (rejoin)
-            LocalChannelState.NON_EXISTENT,  # rejoin timer expiry
-        }
-    ),
+class ChannelEvent(enum.Enum):
+    """Protocol events that drive the Fig. 4 state machine.
+
+    Each event names the *cause* of a transition, so the daemon's call
+    sites document themselves and the invariant auditor can verify the
+    event-agnostic closure it audits against is exactly the one the
+    runtime enforces.
+    """
+
+    ESTABLISH_PRIMARY = "establish_primary"
+    ESTABLISH_BACKUP = "establish_backup"
+    ACTIVATE = "activate"
+    FAIL = "fail"
+    REJOIN = "rejoin"
+    EXPIRE = "expire"
+    CLOSE = "close"
+
+
+#: The explicit Fig. 4 transition table: (state, event) -> next state.
+#: This is the single source of truth; the event-agnostic closure
+#: ``_ALLOWED`` is derived from it below.
+TRANSITIONS: dict[
+    tuple[LocalChannelState, ChannelEvent], LocalChannelState
+] = {
+    (LocalChannelState.NON_EXISTENT, ChannelEvent.ESTABLISH_PRIMARY):
+        LocalChannelState.PRIMARY,
+    (LocalChannelState.NON_EXISTENT, ChannelEvent.ESTABLISH_BACKUP):
+        LocalChannelState.BACKUP,
+    (LocalChannelState.PRIMARY, ChannelEvent.FAIL):
+        LocalChannelState.UNHEALTHY,
+    (LocalChannelState.PRIMARY, ChannelEvent.CLOSE):
+        LocalChannelState.NON_EXISTENT,
+    (LocalChannelState.BACKUP, ChannelEvent.ACTIVATE):
+        LocalChannelState.PRIMARY,
+    (LocalChannelState.BACKUP, ChannelEvent.FAIL):
+        LocalChannelState.UNHEALTHY,
+    (LocalChannelState.BACKUP, ChannelEvent.CLOSE):
+        LocalChannelState.NON_EXISTENT,
+    (LocalChannelState.UNHEALTHY, ChannelEvent.REJOIN):
+        LocalChannelState.BACKUP,
+    (LocalChannelState.UNHEALTHY, ChannelEvent.EXPIRE):
+        LocalChannelState.NON_EXISTENT,
+    (LocalChannelState.UNHEALTHY, ChannelEvent.CLOSE):
+        LocalChannelState.NON_EXISTENT,
 }
+
+
+def _derive_allowed() -> dict[LocalChannelState, frozenset[LocalChannelState]]:
+    closure: dict[LocalChannelState, set[LocalChannelState]] = {
+        state: set() for state in LocalChannelState
+    }
+    for (state, _event), target in TRANSITIONS.items():
+        closure[state].add(target)
+    return {state: frozenset(targets) for state, targets in closure.items()}
+
+
+#: Legal transitions of the Fig. 4 state machine (event-agnostic closure,
+#: derived from ``TRANSITIONS``).
+_ALLOWED: dict[LocalChannelState, frozenset[LocalChannelState]] = (
+    _derive_allowed()
+)
+
+
+def allowed_transitions() -> dict[LocalChannelState, frozenset[LocalChannelState]]:
+    """The event-agnostic closure of ``TRANSITIONS`` (for auditors)."""
+    return dict(_ALLOWED)
 
 
 class IllegalTransitionError(Exception):
@@ -126,10 +170,22 @@ class LocalChannelRecord:
     # ------------------------------------------------------------------
     # state machine
     # ------------------------------------------------------------------
-    def transition(self, target: LocalChannelState) -> None:
+    def transition(self, target: LocalChannelState,
+                   event: "ChannelEvent | None" = None) -> None:
         """Move to ``target``; raises :class:`IllegalTransitionError` for
-        transitions outside Fig. 4."""
-        if target not in _ALLOWED[self.state]:
+        transitions outside Fig. 4.
+
+        When ``event`` is given, the move is additionally validated
+        against the explicit ``TRANSITIONS`` table: the event must be
+        defined for the current state and lead exactly to ``target``.
+        """
+        if event is not None:
+            expected = TRANSITIONS.get((self.state, event))
+            if expected is not target:
+                raise IllegalTransitionError(
+                    self.channel_id, self.node, self.state, target
+                )
+        elif target not in _ALLOWED[self.state]:
             raise IllegalTransitionError(
                 self.channel_id, self.node, self.state, target
             )

@@ -45,6 +45,10 @@ class ScenarioMatrix:
     base_seed: int = 0
     #: SLO targets stamped onto every expanded cell.
     slos: tuple = ()
+    #: Fully-pinned extra cells appended after the product — typically
+    #: regression cells promoted from failing seeds, carrying their own
+    #: explicit seed so they reproduce regardless of ``base_seed``.
+    cells: tuple = ()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -61,6 +65,7 @@ class ScenarioMatrix:
     def num_cells(self) -> int:
         return (
             len(self.topologies) * len(self.workloads) * len(self.protocols)
+            + len(self.cells)
         )
 
     def expand(self) -> list[ScenarioSpec]:
@@ -97,6 +102,14 @@ class ScenarioMatrix:
                             slos=self.slos,
                         )
                     )
+        for pinned in self.cells:
+            if pinned.name in seen:
+                raise ValueError(
+                    f"pinned cell {pinned.name!r} collides with another "
+                    f"cell; pinned cells must carry unique names"
+                )
+            seen.add(pinned.name)
+            cells.append(pinned)
         return cells
 
     # ------------------------------------------------------------------
@@ -111,6 +124,10 @@ class ScenarioMatrix:
                 "protocols": [p.to_dict() for p in self.protocols],
             },
             **({"slos": list(self.slos)} if self.slos else {}),
+            **(
+                {"cells": [cell.to_dict() for cell in self.cells]}
+                if self.cells else {}
+            ),
         }
 
     @staticmethod
@@ -121,7 +138,8 @@ class ScenarioMatrix:
                 f"expected schema {MATRIX_SCHEMA!r}, got {schema!r}"
             )
         unknown = sorted(
-            set(data) - {"schema", "name", "base_seed", "axes", "slos"}
+            set(data)
+            - {"schema", "name", "base_seed", "axes", "slos", "cells"}
             - MATRIX_DOC_KEYS
         )
         if unknown:
@@ -152,6 +170,10 @@ class ScenarioMatrix:
                 for item in axes.get("protocols", [{}])
             ),
             slos=tuple(data.get("slos", ())),
+            cells=tuple(
+                ScenarioSpec.from_dict(item)
+                for item in data.get("cells", ())
+            ),
         )
 
     def to_json(self) -> str:

@@ -242,7 +242,38 @@ class TestShrinking:
         )
         payload = load_artifact(path)
         assert payload["schema"] == SCHEMA
+        # The explicit (K, b, D) block rides along for replay validation.
+        assert payload["protocol"] == {
+            "d_max": config.rcc.max_delay,
+            "num_backups": ENVIRONMENT.num_backups,
+            "mux_degree": ENVIRONMENT.mux_degree,
+        }
         replayed = replay_artifact(payload)
+        assert "reservation-conservation" in violation_signature(
+            replayed.violations
+        )
+
+    def test_replay_validates_protocol_block(self, chaos_network, tmp_path):
+        config = ProtocolConfig(debug_double_release=True)
+        schedules = build_campaign(7, 8, chaos_network, config)
+        results = run_campaign(schedules, chaos_network, config, workers=1)
+        failing = [result for result in results if result.violations]
+        shrink = shrink_failing_run(failing[0], chaos_network, config)
+        payload = artifact_payload(shrink, config, ENVIRONMENT)
+        # A hand-edited (K, b, D) triple contradicting the recorded
+        # environment/config must refuse to replay...
+        tampered = json.loads(json.dumps(payload))
+        tampered["protocol"]["num_backups"] = ENVIRONMENT.num_backups + 1
+        with pytest.raises(ValueError, match="num_backups"):
+            replay_artifact(tampered)
+        tampered = json.loads(json.dumps(payload))
+        tampered["protocol"]["d_max"] = config.rcc.max_delay + 1.0
+        with pytest.raises(ValueError, match="d_max"):
+            replay_artifact(tampered)
+        # ...while a pre-block artifact still replays (old format).
+        legacy = json.loads(json.dumps(payload))
+        del legacy["protocol"]
+        replayed = replay_artifact(legacy)
         assert "reservation-conservation" in violation_signature(
             replayed.violations
         )

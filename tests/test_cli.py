@@ -200,6 +200,24 @@ class TestChaosCommand:
         assert payload["reproduced"] is True
         assert len(payload["schedule"]["events"]) <= 5
 
+    def test_planted_race_fails_and_shrinks(self, capsys, tmp_path):
+        # The inverse switchover gate: unguarded activation must let the
+        # historical race through, and ddmin must shrink it small.
+        assert main(
+            ["chaos", "--plant-race", "--campaign-size", "3", "--seed", "1",
+             "--max-artifacts", "1", "--artifact-dir", str(tmp_path),
+             "--workers", "1"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out
+        assert "multiple-active" in out
+        artifacts = sorted(tmp_path.glob("chaos-seed1-run*.json"))
+        assert artifacts
+        payload = json.loads(artifacts[0].read_text())
+        assert payload["reproduced"] is True
+        assert payload["config"]["debug_unguarded_switchover"] is True
+        assert len(payload["schedule"]["events"]) <= 3
+
         # The exported artifact replays and reproduces the violation.
         assert main(["chaos", "--replay", str(artifacts[0])]) == 1
         assert "violations reproduced" in capsys.readouterr().out

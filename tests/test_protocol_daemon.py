@@ -11,6 +11,7 @@ from repro.network import LinkId
 from repro.network.generators import line, ring
 from repro.protocol import (
     Direction,
+    InvariantAuditor,
     ProtocolConfig,
     ProtocolSimulation,
     SwitchingScheme,
@@ -36,15 +37,15 @@ class TestDirection:
 
 class TestReportingRules:
     @pytest.mark.parametrize(
-        "scheme, expect_source_informed, expect_dest_informed",
+        "scheme, expect_report_to_source, expect_report_to_dest",
         [
             (SwitchingScheme.SCHEME_1, False, True),
             (SwitchingScheme.SCHEME_2, True, False),
             (SwitchingScheme.SCHEME_3, True, True),
         ],
     )
-    def test_who_gets_the_report(self, scheme, expect_source_informed,
-                                 expect_dest_informed):
+    def test_who_gets_the_report(self, scheme, expect_report_to_source,
+                                 expect_report_to_dest):
         network, connection = build_ring_network()
         simulation = ProtocolSimulation(network, ProtocolConfig(scheme=scheme))
         # Fail the middle link of the primary (1->2): node 1 upstream,
@@ -53,6 +54,21 @@ class TestReportingRules:
             FailureScenario.of_links([connection.primary.path.links[1]]),
             at=1.0,
         )
+        # Which *reports* flow is a per-scheme rule (Fig. 5), visible at
+        # the failure-adjacent nodes before the soft state expires.
+        simulation.run(until=20.0)
+        upstream_reported = simulation.daemons[1].records[
+            connection.primary.channel_id
+        ].reported
+        downstream_reported = simulation.daemons[2].records[
+            connection.primary.channel_id
+        ].reported
+        assert (
+            Direction.TO_SOURCE in upstream_reported
+        ) == expect_report_to_source
+        assert (
+            Direction.TO_DESTINATION in downstream_reported
+        ) == expect_report_to_dest
         simulation.run(until=100.0)
         source_record = simulation.daemons[0].records[
             connection.primary.channel_id
@@ -60,15 +76,15 @@ class TestReportingRules:
         dest_record = simulation.daemons[3].records[
             connection.primary.channel_id
         ]
-        # An end-node that was informed has its record in U (or torn down
-        # after the rejoin timer); an uninformed end keeps it in P.
+        # Regardless of which end the report reached, the switchover
+        # handshake informs the other end implicitly: adopting the far
+        # end's activation demotes the stale primary, so no end-node is
+        # left holding the dead channel as PRIMARY under any scheme.
         informed_states = (
             LocalChannelState.UNHEALTHY, LocalChannelState.NON_EXISTENT
         )
-        assert (source_record.state in informed_states) == (
-            expect_source_informed
-        )
-        assert (dest_record.state in informed_states) == expect_dest_informed
+        assert source_record.state in informed_states
+        assert dest_record.state in informed_states
 
     def test_duplicate_reports_do_not_duplicate_recovery(self):
         # A node failure makes *two* neighbours report the same channel;
@@ -181,6 +197,93 @@ class TestNodeDeath:
         record = simulation.metrics.recoveries[connection.connection_id]
         assert record.endpoint_failed
         assert not record.recovered
+
+
+class TestTimerLifecycle:
+    """Daemon timer lifecycle under overlapping failure/repair: rejoin
+    timers re-arming while probes are pending, crashes with a switchover
+    handshake in flight, and repairs racing the give-up boundary."""
+
+    def test_rejoin_timer_rearm_while_probe_pending(self):
+        # The primary fails, rejoins after a quick repair, then fails
+        # AGAIN while round one's probe timer may still be pending.  The
+        # re-armed timer must drive a clean second rejoin cycle — not a
+        # double fire, not a channel stuck in U.
+        network, connection = build_ring_network()
+        config = ProtocolConfig(
+            rejoin_timeout=100.0, rejoin_probe_interval=5.0
+        )
+        simulation = ProtocolSimulation(network, config)
+        auditor = InvariantAuditor(simulation)
+        auditor.attach()
+        victim = connection.primary.path.links[1]
+        simulation.inject_scenario(FailureScenario.of_links([victim]), at=1.0)
+        simulation.repair(victim, at=8.0)
+        simulation.fail(victim, at=30.0)
+        simulation.repair(victim, at=40.0)
+        simulation.run(until=500.0)
+        auditor.check_quiescent(drained=simulation.engine.pending == 0)
+        assert auditor.ok, [v.detail for v in auditor.violations]
+        assert simulation.metrics.rejoins >= 2
+        for node in connection.primary.path.nodes:
+            record = simulation.daemons[node].records[
+                connection.primary.channel_id
+            ]
+            assert record.state is LocalChannelState.BACKUP, node
+
+    def test_crash_during_inflight_activation(self):
+        # The destination crashes with its activation handshake still
+        # pending (un-acked).  The crash must clear the pending map (no
+        # wedged soft state), and the post-repair reconciliation round
+        # must leave both ends in a consistent, auditor-clean state.
+        network, connection = build_ring_network()
+        simulation = ProtocolSimulation(network, ProtocolConfig())
+        auditor = InvariantAuditor(simulation)
+        auditor.attach()
+        simulation.inject_scenario(
+            FailureScenario.of_links([connection.primary.path.links[1]]),
+            at=1.0,
+        )
+        simulation.run(until=3.0)
+        destination = simulation.daemons[connection.destination]
+        assert destination._pending, "handshake should be in flight"
+        simulation.fail(connection.destination, at=3.5)
+        simulation.run(until=4.0)
+        assert not destination._pending, "crash must clear pending handshakes"
+        simulation.repair(connection.destination, at=60.0)
+        simulation.run(until=600.0)
+        assert not destination._pending
+        auditor.check_quiescent(drained=simulation.engine.pending == 0)
+        assert auditor.ok, [v.detail for v in auditor.violations]
+
+    def test_repair_racing_give_up_converges(self):
+        # The repair lands right at the rejoin-timeout boundary: some
+        # nodes' timers have expired (give-up), others' have not.  The
+        # Fig. 6 closure-undo must still converge every node to ONE
+        # outcome — all rejoined, or all torn down — never a mix.
+        network, connection = build_ring_network()
+        config = ProtocolConfig(rejoin_timeout=10.0)
+        simulation = ProtocolSimulation(network, config)
+        auditor = InvariantAuditor(simulation)
+        auditor.attach()
+        victim = connection.primary.path.links[1]
+        simulation.inject_scenario(FailureScenario.of_links([victim]), at=1.0)
+        # Timers arm at per-node detection times spread over ~1 hop of
+        # report latency; 11.5 lands inside that expiry window.
+        simulation.repair(victim, at=11.5)
+        simulation.run(until=400.0)
+        auditor.check_quiescent(drained=simulation.engine.pending == 0)
+        assert auditor.ok, [v.detail for v in auditor.violations]
+        states = {
+            simulation.daemons[node].records[
+                connection.primary.channel_id
+            ].state
+            for node in connection.primary.path.nodes
+        }
+        assert len(states) == 1, states
+        assert states <= {
+            LocalChannelState.BACKUP, LocalChannelState.NON_EXISTENT
+        }
 
 
 class TestLineTopology:

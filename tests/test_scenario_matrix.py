@@ -15,6 +15,7 @@ The load-bearing properties:
 
 from __future__ import annotations
 
+import dataclasses
 import json
 
 import pytest
@@ -213,6 +214,30 @@ def test_matrix_codec_round_trip():
     recovered = ScenarioMatrix.from_dict(json.loads(matrix.to_json()))
     assert recovered == matrix
     assert recovered.expand() == matrix.expand()
+
+
+def test_pinned_cells_appended_with_their_own_seeds():
+    pinned = ScenarioSpec(
+        name="m/regression/pinned", seed=123456,
+        workload=WorkloadSpec(kind="chaos", campaign_size=2),
+    )
+    matrix = dataclasses.replace(_small_matrix(), cells=(pinned,))
+    cells = matrix.expand()
+    assert len(cells) == matrix.num_cells == 9
+    # Pinned cells ride after the product, seed untouched by base_seed.
+    assert cells[-1] == pinned
+    assert cells[:-1] == _small_matrix().expand()
+    # They survive the codec round trip.
+    recovered = ScenarioMatrix.from_dict(json.loads(matrix.to_json()))
+    assert recovered == matrix
+
+
+def test_pinned_cell_name_collision_rejected():
+    base = _small_matrix()
+    clashing = dataclasses.replace(base.expand()[0], seed=99)
+    matrix = dataclasses.replace(base, cells=(clashing,))
+    with pytest.raises(ValueError, match="pinned cell"):
+        matrix.expand()
 
 
 def test_matrix_doc_keys_allowed_unknown_rejected():

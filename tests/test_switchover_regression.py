@@ -1,0 +1,81 @@
+"""Permanent regression tests for the channel-switching race.
+
+The checked-in ``tests/artifacts/switchover-race-*.json`` documents are
+ddmin-shrunk 2-event schedules captured from the historical failing
+seeds (``repro chaos --seed 1/2 --plant-race``): a cascade kills the
+primary and the first backup close together, scheme 3 activates from
+both ends, and — without the serial/episode handshake guard — one
+end-node finishes holding TWO primary channels for one connection.
+
+Each artifact is replayed twice:
+
+* **unguarded** (as recorded, ``debug_unguarded_switchover=True``): the
+  race must still reproduce its violation signature — this proves the
+  artifact, the auditor, and the replay path stay honest;
+* **guarded** (same schedule, hardening enabled): the run must be
+  clean — this is the actual regression test for the switchover
+  handshake.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.chaos import (
+    load_artifact,
+    replay_artifact,
+    violation_signature,
+)
+from repro.chaos.schedule import protocol_config_from_json
+
+ARTIFACT_DIR = os.path.join(os.path.dirname(__file__), "artifacts")
+
+RACE_ARTIFACTS = sorted(
+    os.path.join(ARTIFACT_DIR, name)
+    for name in os.listdir(ARTIFACT_DIR)
+    if name.startswith("switchover-race-") and name.endswith(".json")
+)
+
+
+def test_artifacts_are_checked_in():
+    assert len(RACE_ARTIFACTS) >= 2
+
+
+@pytest.mark.parametrize(
+    "path", RACE_ARTIFACTS, ids=[os.path.basename(p) for p in RACE_ARTIFACTS]
+)
+class TestSwitchoverRaceArtifacts:
+    def test_artifact_shape(self, path):
+        payload = load_artifact(path)
+        # Shrunk to the 2-3 event core the ISSUE calls for, recorded
+        # with the unguarded switchover and a reproduced signature.
+        assert payload["reproduced"] is True
+        assert len(payload["schedule"]["events"]) <= 3
+        assert payload["config"]["debug_unguarded_switchover"] is True
+        assert payload["violations"]
+
+    def test_unguarded_replay_reproduces_race(self, path):
+        payload = load_artifact(path)
+        recorded = frozenset(
+            violation["invariant"] for violation in payload["violations"]
+        )
+        result = replay_artifact(payload)
+        assert recorded & violation_signature(result.violations), (
+            "the unguarded replay no longer reproduces the recorded race"
+        )
+
+    def test_guarded_replay_is_clean(self, path):
+        payload = load_artifact(path)
+        config = protocol_config_from_json(payload["config"])
+        assert config.debug_unguarded_switchover is True
+        payload = dict(payload)
+        payload["config"] = dict(payload["config"])
+        payload["config"]["debug_unguarded_switchover"] = False
+        result = replay_artifact(payload)
+        assert result.violations == (), [
+            f"{violation.invariant}: {violation.detail}"
+            for violation in result.violations
+        ]
+        assert result.drained
