@@ -33,6 +33,26 @@ class ChannelRegistry:
         self._next_id += 1
         return channel_id
 
+    @property
+    def next_id(self) -> int:
+        """The id :meth:`allocate_id` would hand out next.
+
+        Settable so snapshot restore (:mod:`repro.serve.state`) resumes
+        the allocation sequence exactly where the snapshotted registry
+        stopped — re-used ids would collide with departed channels'
+        history in overlap caches and artifacts.
+        """
+        return self._next_id
+
+    @next_id.setter
+    def next_id(self, value: int) -> None:
+        if value < self._next_id:
+            raise ValueError(
+                f"next_id may only move forward "
+                f"({self._next_id} -> {value})"
+            )
+        self._next_id = value
+
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------

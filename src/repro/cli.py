@@ -427,6 +427,48 @@ def build_parser() -> argparse.ArgumentParser:
                      help="value for the symbolic 'gamma' threshold "
                           "(slo action)")
 
+    serve = subparsers.add_parser(
+        "serve", help="always-on admission service: run the long-lived "
+                      "server (start) or drive one remotely (churn/"
+                      "snapshot/ping/shutdown)")
+    serve.add_argument("action",
+                       choices=("start", "churn", "snapshot", "ping",
+                                "shutdown"),
+                       help="start: serve a warm network on --bind; "
+                            "churn: run the churn engine as a remote load "
+                            "generator against --connect; snapshot: ask "
+                            "the server to write a repro.snapshot/1 file; "
+                            "ping/shutdown: liveness check / graceful stop")
+    serve.add_argument("--spec", metavar="PATH", default=None,
+                       help="start: one-cell scenario spec pinning the "
+                            "topology (and the churn workload clients "
+                            "inherit via the hello handshake)")
+    serve.add_argument("--bind", metavar="ADDR", default=None,
+                       help="start: listen address — host:port for TCP, "
+                            "anything else a unix socket path")
+    serve.add_argument("--connect", metavar="ADDR", default=None,
+                       help="client actions: the server's address")
+    serve.add_argument("--restore", metavar="PATH", default=None,
+                       help="start: restore this repro.snapshot/1 file "
+                            "into the warm network before serving — the "
+                            "restarted server resumes byte-identically "
+                            "without re-admitting the world")
+    serve.add_argument("--snapshot-out", metavar="PATH", default=None,
+                       help="snapshot: path the *server process* writes "
+                            "the snapshot file to")
+    serve.add_argument("--stats-out", metavar="PATH", default=None,
+                       help="churn: write the client-side churn stats as "
+                            "deterministic JSON")
+    serve.add_argument("--until", type=float, default=None,
+                       help="churn: pause the run at this simulated time "
+                            "instead of running to the spec's duration")
+    serve.add_argument("--slo", metavar="SPEC", action="append", default=[],
+                       help="SLO target (repeatable). start: evaluated "
+                            "against the server's serve.* metrics at "
+                            "shutdown, e.g. "
+                            "'serve.admission_latency.p99 <= 0.05'; "
+                            "churn: per-epoch targets as in 'repro churn'")
+
     # Observability and execution flags are global: every subcommand
     # exports the same way (the whole run records into one session
     # registry/trace sink) and shares the worker-pool setting.
@@ -591,29 +633,148 @@ def _run_churn(args: argparse.Namespace) -> tuple[str, int]:
         )
     if stats.clean:
         lines.append("invariants: every epoch boundary clean")
-        code = 0
     else:
         lines.append(
             f"invariants VIOLATED ({len(stats.audit_violations)} findings):"
         )
         lines.extend(f"  {finding}" for finding in stats.audit_violations)
-        code = 1
-    if churn_config.slos:
+    if stats.slo_breaches:
+        lines.append(
+            f"SLOs BREACHED ({len(stats.slo_breaches)} findings):"
+        )
+        lines.extend(f"  {finding}" for finding in stats.slo_breaches)
+    elif churn_config.slos:
+        lines.append(
+            f"SLOs: all {len(churn_config.slos)} target(s) met at "
+            f"every epoch boundary"
+        )
+    # Gate on ``healthy`` (invariants AND SLOs), not ``clean`` — gating
+    # on clean alone waved breached SLOs through whenever the breach
+    # list was populated by a path other than the --slo flags.
+    code = 0 if stats.healthy else 1
+    lines.append("")
+    lines.append(format_metrics(get_registry().snapshot(),
+                                title="Churn metrics"))
+    return "\n".join(lines), code
+
+
+def _run_serve(args: argparse.Namespace) -> tuple[str, int]:
+    """Always-on admission service: run the server, or drive one as a
+    churn client / one-shot management call."""
+    import json
+
+    from repro.serve import AdmissionServer, RemoteNetwork, ServeClient
+
+    if args.action == "start":
+        if not args.spec or not args.bind:
+            raise SystemExit("repro serve start requires --spec and --bind")
+        spec = _load_single_spec(args.spec, "churn")
+        server = AdmissionServer(spec, workers=args.workers)
+        restored = 0
+        if args.restore:
+            restored = server.restore(args.restore)
+        # Blocks until a client sends ``shutdown``; SLOs over the
+        # serve.* metrics gate the exit code afterwards.
+        server.serve_forever(args.bind)
+        breaches = server.slo_breaches(tuple(args.slo))
+        lines = [
+            f"repro serve — {spec.topology.label} on {args.bind}, "
+            f"workers {args.workers}"
+            + (f", restored {restored} connection(s)" if args.restore
+               else ""),
+            f"shut down with {server.network.num_connections} live "
+            f"connection(s)",
+        ]
+        if breaches:
+            lines.append(f"SLOs BREACHED ({len(breaches)} findings):")
+            lines.extend(f"  {finding}" for finding in breaches)
+        elif args.slo:
+            lines.append(f"SLOs: all {len(args.slo)} target(s) met")
+        lines.append("")
+        lines.append(format_metrics(server.registry.snapshot(),
+                                    title="Serve metrics"))
+        return "\n".join(lines), 1 if breaches else 0
+
+    if not args.connect:
+        raise SystemExit(f"repro serve {args.action} requires --connect")
+
+    if args.action == "churn":
+        import dataclasses
+
+        from repro.scenario import churn_config_from_spec
+        from repro.workload import ChurnEngine
+
+        network = RemoteNetwork(ServeClient(args.connect), retry_window=5.0)
+        spec = network.spec
+        # The workload comes from the server's hello spec, so both sides
+        # agree on every seeded draw without shipping a spec file around.
+        churn_config = dataclasses.replace(
+            churn_config_from_spec(spec, workers=args.workers),
+            slos=tuple(args.slo),
+        )
+        engine = ChurnEngine(network, churn_config)
+        stats = engine.run(until=args.until)
+        network.client.close()
+        if args.stats_out:
+            with open(args.stats_out, "w") as handle:
+                json.dump(stats.to_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        lines = [
+            f"repro serve churn — {spec.topology.label} via {args.connect}, "
+            f"seed {spec.seed}"
+            + (f", paused at t={args.until:g}" if args.until is not None
+               else ""),
+            f"arrivals: {stats.arrivals} in {stats.batches} batches; "
+            f"established: {stats.established}; blocked: {stats.blocked}; "
+            f"departures: {stats.departures}; epochs audited: {stats.epochs}",
+        ]
+        if stats.clean:
+            lines.append("invariants: every epoch boundary clean")
+        else:
+            lines.append(
+                f"invariants VIOLATED "
+                f"({len(stats.audit_violations)} findings):"
+            )
+            lines.extend(f"  {finding}" for finding in stats.audit_violations)
         if stats.slo_breaches:
             lines.append(
                 f"SLOs BREACHED ({len(stats.slo_breaches)} findings):"
             )
             lines.extend(f"  {finding}" for finding in stats.slo_breaches)
-            code = 1
-        else:
+        elif churn_config.slos:
             lines.append(
                 f"SLOs: all {len(churn_config.slos)} target(s) met at "
                 f"every epoch boundary"
             )
-    lines.append("")
-    lines.append(format_metrics(get_registry().snapshot(),
-                                title="Churn metrics"))
-    return "\n".join(lines), code
+        return "\n".join(lines), 0 if stats.healthy else 1
+
+    client = ServeClient(args.connect)
+    hello = client.connect()
+    try:
+        if args.action == "ping":
+            return (
+                f"repro serve — {args.connect} alive ({hello['schema']}, "
+                f"{hello['connections']} connection(s), "
+                f"workers {hello['workers']})"
+            ), 0
+        if args.action == "snapshot":
+            if not args.snapshot_out:
+                raise SystemExit(
+                    "repro serve snapshot requires --snapshot-out"
+                )
+            response = client.call("snapshot", path=args.snapshot_out)
+            return (
+                f"server wrote {response['path']} "
+                f"({response['connections']} connection(s))"
+            ), 0
+        assert args.action == "shutdown"
+        response = client.call("shutdown")
+        return (
+            f"server at {args.connect} shut down "
+            f"({response['connections']} connection(s) at exit)"
+        ), 0
+    finally:
+        client.close()
 
 
 def _format_violations(violations) -> list[str]:
@@ -1131,6 +1292,8 @@ def _run_command(args: argparse.Namespace) -> "str | tuple[str, int]":
         return _run_stats(args)
     if args.command == "churn":
         return _run_churn(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "chaos":
         return _run_chaos(args)
     if args.command == "matrix":

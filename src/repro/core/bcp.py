@@ -41,7 +41,13 @@ __all__ = [
     "BatchRequest",
     "EstablishmentError",
     "ReconfigurationReport",
+    "SPARE_MIRROR_EPSILON",
 ]
+
+#: Spare mirrored into the ledger may differ from the mux requirement by
+#: float round-off only; anything larger is a consistency violation
+#: (see :meth:`BCPNetwork.audit_invariants`).
+SPARE_MIRROR_EPSILON = 1e-6
 
 
 @dataclass
@@ -253,6 +259,25 @@ class BCPNetwork:
     def spare_fraction(self) -> float:
         """Spare-pool bandwidth over total capacity."""
         return self.ledger.spare_fraction()
+
+    def audit_invariants(self) -> list[str]:
+        """Ledger audit plus the mux-vs-ledger spare consistency check.
+
+        The churn engine's epoch auditor, hoisted onto the network so
+        remote network adapters (:mod:`repro.serve`) can run the same
+        check server-side with one round trip.  Returns one problem
+        string per violation; empty means consistent.
+        """
+        violations = [str(finding) for finding in self.ledger.audit()]
+        for link in self.topology.links():
+            required = self.mux.spare_required(link)
+            mirrored = self.ledger.spare_reserved(link)
+            if abs(required - mirrored) > SPARE_MIRROR_EPSILON:
+                violations.append(
+                    f"link {link}: mux requires {required!r} spare but "
+                    f"ledger mirrors {mirrored!r}"
+                )
+        return violations
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

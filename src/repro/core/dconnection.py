@@ -69,6 +69,17 @@ class DConnection:
         return [self.primary, *self.backups]
 
     @property
+    def total_hops(self) -> int:
+        """Hop count summed over every channel (primary + backups).
+
+        The churn engine's modelled establishment latency is
+        ``per_hop_latency * total_hops``; remote connection handles
+        (:mod:`repro.serve`) carry the same number so client-side stats
+        stay byte-identical to a local run.
+        """
+        return sum(channel.path.hops for channel in self.channels)
+
+    @property
     def mux_degree(self) -> int:
         """The connection's multiplexing degree (the paper keeps one ν per
         connection: "each backup is required to have the same multiplexing

@@ -163,6 +163,24 @@ class EstablishmentEngine:
         self.backup_cost_factory = backup_cost_factory
         self._next_connection_id = 0
 
+    @property
+    def next_connection_id(self) -> int:
+        """The id the next established D-connection will get.
+
+        Settable so snapshot restore (:mod:`repro.serve.state`) resumes
+        the id sequence where the snapshotted engine stopped.
+        """
+        return self._next_connection_id
+
+    @next_connection_id.setter
+    def next_connection_id(self, value: int) -> None:
+        if value < self._next_connection_id:
+            raise ValueError(
+                f"next_connection_id may only move forward "
+                f"({self._next_connection_id} -> {value})"
+            )
+        self._next_connection_id = value
+
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------

@@ -108,6 +108,23 @@ class LinkMuxState:
         """The entry for one backup; raises ``KeyError`` if absent."""
         return self._entries[channel_id]
 
+    def set_requirements(
+        self, requirements: "dict[int, float]", spare_required: float
+    ) -> None:
+        """Overwrite per-entry requirements and the pool maximum verbatim.
+
+        Requirement values are maintained *incrementally* by :meth:`add` /
+        :meth:`remove`, so in IEEE arithmetic they depend on the full
+        add/remove history, not just the resident entry set.  Snapshot
+        restore therefore re-adds entries to rebuild the integer
+        structure (Π conflict sets) and then calls this to transplant the
+        float state recorded at snapshot time, making post-restore pool
+        sizing bit-identical to the uninterrupted run.
+        """
+        for channel_id, requirement in requirements.items():
+            self._entries[channel_id].requirement = requirement
+        self._spare_required = spare_required
+
     def spare_required(self) -> float:
         """The pool size required by the current backup set.
 
@@ -420,6 +437,15 @@ class MultiplexingEngine:
         state = self._links.get(link)
         return state.spare_required() if state else 0.0
 
+    def link_states(self) -> "dict[LinkId, LinkMuxState | VectorLinkMux]":
+        """Live per-link states — only links that ever saw a backup.
+
+        Read-only view for the snapshot codec; an empty state is
+        indistinguishable from an untouched link (its pool requirement
+        is exactly ``0.0``), so snapshots skip both.
+        """
+        return self._links
+
     # ------------------------------------------------------------------
     def component_mask(self, primary_path: Path) -> int:
         """The primary's component set as an interned integer bitset."""
@@ -433,6 +459,16 @@ class MultiplexingEngine:
         # integer mask would be dead weight there.
         mask = 0 if self.use_kernel else self.space.mask(components)
         return components, len(components), mask
+
+    def describe_backup(
+        self, backup: Channel, primary: Channel
+    ) -> tuple[frozenset, int, int]:
+        """``(components, count, mask)`` of ``primary`` as the per-link
+        states consume it — the arguments their ``add`` takes after the
+        channel identity and QoS numbers.  Public for the snapshot codec
+        (:mod:`repro.serve.state`), which replays ``add`` per link to
+        rebuild mux structure without re-routing anything."""
+        return self._describe(backup, primary)
 
     def preview_backup(
         self, backup_path: Path, bandwidth: float, mux_degree: int, primary: Channel

@@ -302,6 +302,21 @@ class VectorLinkMux:
         """The pool size required by the current backup set (O(1))."""
         return self._spare_required
 
+    def set_requirements(
+        self, requirements: "dict[int, float]", spare_required: float
+    ) -> None:
+        """Overwrite per-entry requirements and the pool maximum verbatim.
+
+        Same contract as
+        :meth:`repro.core.multiplexing.LinkMuxState.set_requirements`:
+        the incremental float columns depend on the add/remove history,
+        so snapshot restore rebuilds the integer structure via
+        :meth:`add` and then transplants the recorded floats here.
+        """
+        for channel_id, requirement in requirements.items():
+            self._requirement[self._ids[channel_id]] = requirement
+        self._spare_required = spare_required
+
     def _shared_with_all(self, row: int):
         """``sc`` between the set at ``row`` and every resident entry:
         one vectorized pass over the link's *distinct* primary sets,

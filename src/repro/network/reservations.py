@@ -402,6 +402,53 @@ class ReservationLedger:
                 )
         return problems
 
+    def snapshot_pools(self) -> list[tuple[float, float]]:
+        """``(primary, spare)`` per link, in ``topology.links()`` order.
+
+        The full-ledger twin of :meth:`snapshot_spares`, used by the
+        snapshot codec (:mod:`repro.serve.state`).  Values are the raw
+        floats — restore writes them back verbatim so admission decisions
+        after a restore are bit-identical to the uninterrupted run.
+        """
+        self._sync_topology()
+        return [(entry.primary, entry.spare) for entry in self._links.values()]
+
+    def restore_pools(self, pools: "Iterable[tuple[float, float]]") -> None:
+        """Overwrite every link's pools from a :meth:`snapshot_pools` row
+        list (same order and length as ``topology.links()``).
+
+        Validate-then-apply: pool values must be non-negative and fit the
+        link's capacity (admission tolerance applies), or nothing changes.
+        On success the ledger :attr:`version` is bumped and the spare
+        cache dropped, so every version-keyed consumer — route-cache
+        floor tables, the flat view's free-capacity mirror, spare-pool
+        snapshots — recompiles instead of serving pre-restore state.
+        """
+        self._sync_topology()
+        rows = list(pools)
+        if len(rows) != len(self._links):
+            raise ValueError(
+                f"restore_pools: snapshot has {len(rows)} links but the "
+                f"topology has {len(self._links)}"
+            )
+        resolved = []
+        for (link, entry), (primary, spare) in zip(self._links.items(), rows):
+            if primary < -_EPSILON or spare < -_EPSILON:
+                raise ValueError(
+                    f"link {link}: negative restored pool "
+                    f"(primary {primary:g}, spare {spare:g})"
+                )
+            if primary + spare > entry.capacity + _EPSILON:
+                raise InsufficientCapacityError(
+                    link, primary + spare, entry.capacity
+                )
+            resolved.append((entry, primary, spare))
+        for entry, primary, spare in resolved:
+            entry.primary = primary
+            entry.spare = spare
+        self._version += 1
+        self._spares_cache = None
+
     def snapshot_spares(self) -> dict[LinkId, float]:
         """Copy of every link's current spare reservation.
 

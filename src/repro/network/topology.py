@@ -81,6 +81,21 @@ class Topology:
         """Add the two simplex links between ``a`` and ``b`` (paper's model)."""
         return (self.add_link(a, b, capacity), self.add_link(b, a, capacity))
 
+    def invalidate(self) -> int:
+        """Force every derived view to recompile: bump :attr:`version` and
+        drop the compiled flat view and capacity cache.
+
+        Snapshot *restore* rewrites reservation state out from under
+        anything keyed on this topology; restoring through this method
+        guarantees no consumer — flat-view CSR arrays, route-cache floor
+        tables, mux-kernel arena rows — can keep serving pre-restore
+        state.  Returns the new version.
+        """
+        self._version += 1
+        self._flat = None
+        self._total_capacity_cache = None
+        return self._version
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------

@@ -1,0 +1,216 @@
+"""Client side of the admission service.
+
+:class:`ServeClient` is the low-level RPC stream — one request, one
+response, correlation-id checked.  :class:`RemoteNetwork` adapts it to
+the network surface :class:`~repro.workload.churn.ChurnEngine` drives
+(``establish_batch`` / ``teardown`` / audit / metrics / per-epoch
+recovery evaluation), which turns the existing churn engine into a
+remote load generator: every seeded draw happens client-side against a
+local topology mirror rebuilt from the server's ``hello`` spec, so a
+remote run's stats are byte-identical to a local run's.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.bcp import EstablishmentError
+from repro.network.components import LinkId
+from repro.scenario.spec import ScenarioSpec
+from repro.serve.protocol import MessageStream, connect
+from repro.serve.server import remote_recovery_stats
+
+
+class ServeError(Exception):
+    """The server reported an operation failure (``ok: false``)."""
+
+
+class ServeClient:
+    """Blocking request/response client over one server connection."""
+
+    def __init__(self, address: str, timeout: "float | None" = 30.0) -> None:
+        self.address = address
+        self.timeout = timeout
+        self._stream: "MessageStream | None" = None
+        self._next_id = 0
+
+    def connect(self, retry_window: float = 0.0) -> dict:
+        """(Re)connect and handshake; returns the ``hello`` response.
+
+        ``retry_window`` keeps retrying the TCP/Unix connect for that
+        many seconds — how a client rides through a server restart.
+        """
+        self.close()
+        deadline = time.monotonic() + retry_window
+        while True:
+            try:
+                self._stream = MessageStream(
+                    connect(self.address, timeout=self.timeout)
+                )
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+        return self.call("hello")
+
+    def call(self, op: str, **params) -> dict:
+        """One round trip; raises :class:`ServeError` on ``ok: false``."""
+        if self._stream is None:
+            raise ServeError(f"not connected to {self.address}")
+        self._next_id += 1
+        request = {"id": self._next_id, "op": op, **params}
+        self._stream.send(request)
+        response = self._stream.recv()
+        if response is None:
+            raise ServeError(f"server closed the connection during {op!r}")
+        if response.get("id") != self._next_id:
+            raise ServeError(
+                f"response correlation mismatch: sent id {self._next_id}, "
+                f"got {response.get('id')!r}"
+            )
+        if not response.get("ok"):
+            raise ServeError(response.get("error", f"{op} failed"))
+        return response
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+
+class RemoteConnection:
+    """Client-side handle for one admitted D-connection.
+
+    Carries exactly what the churn engine consumes: the id (for
+    teardown scheduling) and the hop count (for the modelled
+    establishment latency).
+    """
+
+    __slots__ = ("connection_id", "total_hops")
+
+    def __init__(self, connection_id: int, total_hops: int) -> None:
+        self.connection_id = connection_id
+        self.total_hops = total_hops
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RemoteConnection(id={self.connection_id}, "
+            f"hops={self.total_hops})"
+        )
+
+
+class RemoteNetwork:
+    """The churn engine's network surface, backed by an admission server.
+
+    The constructor handshakes, then rebuilds the server's topology
+    locally from the ``hello`` spec — seeded node-pair and failure-link
+    sampling need the node/link tables, and building them from the same
+    :class:`~repro.scenario.spec.TopologySpec` guarantees both sides
+    agree on insertion order.  All admission state stays server-side.
+    """
+
+    def __init__(self, client: ServeClient, retry_window: float = 0.0) -> None:
+        self.client = client
+        hello = client.connect(retry_window=retry_window)
+        self.spec = ScenarioSpec.from_dict(hello["spec"])
+        self.topology = self.spec.topology.build()
+
+    def reconnect(self, retry_window: float = 30.0) -> dict:
+        """Ride through a server restart; returns the new ``hello``."""
+        return self.client.connect(retry_window=retry_window)
+
+    # -- the ChurnEngine surface ---------------------------------------
+    def establish_batch(self, requests) -> list:
+        """Admit a batch remotely; per-request results in order, each a
+        :class:`RemoteConnection` or an
+        :class:`~repro.core.bcp.EstablishmentError`."""
+        response = self.client.call(
+            "establish",
+            requests=[
+                {
+                    "src": request.src,
+                    "dst": request.dst,
+                    "traffic": {
+                        "bandwidth": request.traffic.bandwidth,
+                        "max_message_size": request.traffic.max_message_size,
+                        "max_message_rate": request.traffic.max_message_rate,
+                    },
+                    "delay_qos": {
+                        "slack_hops": request.delay_qos.slack_hops,
+                        "per_channel_baseline": (
+                            request.delay_qos.per_channel_baseline
+                        ),
+                    },
+                    "ft_qos": {
+                        "num_backups": request.ft_qos.num_backups,
+                        "mux_degree": request.ft_qos.mux_degree,
+                        "required_pr": request.ft_qos.required_pr,
+                        "max_backups": request.ft_qos.max_backups,
+                    },
+                }
+                for request in requests
+            ],
+        )
+        return [
+            RemoteConnection(item["connection_id"], item["total_hops"])
+            if item["ok"]
+            else EstablishmentError(item["error"])
+            for item in response["results"]
+        ]
+
+    def teardown(self, connection_id: int) -> None:
+        self.client.call("teardown", connection_id=connection_id)
+
+    @property
+    def num_connections(self) -> int:
+        return self.client.call("num_connections")["value"]
+
+    def network_load(self) -> float:
+        return self.client.call("network_load")["value"]
+
+    def spare_fraction(self) -> float:
+        return self.client.call("spare_fraction")["value"]
+
+    def audit_invariants(self) -> list[str]:
+        """The server-side epoch audit, in one round trip."""
+        return self.client.call("audit")["violations"]
+
+    def evaluate_failures(
+        self,
+        links: "list[LinkId]",
+        seed: int,
+        workers: "int | None" = None,
+    ) -> tuple:
+        """Run a recovery evaluation server-side (its worker pool, its
+        warm caches); returns ``(RecoveryStats, counters)`` exactly as
+        the local evaluate-under-churn path produces them."""
+        params = {
+            "links": [[link.src, link.dst] for link in links],
+            "seed": seed,
+        }
+        if workers is not None:
+            params["workers"] = workers
+        response = self.client.call("evaluate", **params)
+        stats = remote_recovery_stats(response["stats"])
+        return stats, response["counters"]
+
+    # -- management helpers (not part of the engine surface) -----------
+    def snapshot(self, path: str) -> dict:
+        """Ask the server to write a ``repro.snapshot/1`` file."""
+        return self.client.call("snapshot", path=path)
+
+    def metrics_snapshot(self) -> dict:
+        """The server's ``repro.metrics/1`` registry snapshot."""
+        return self.client.call("metrics")["snapshot"]
+
+    def shutdown(self) -> dict:
+        return self.client.call("shutdown")
+
+
+__all__ = [
+    "RemoteConnection",
+    "RemoteNetwork",
+    "ServeClient",
+    "ServeError",
+]

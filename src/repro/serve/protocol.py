@@ -1,0 +1,129 @@
+"""Line-delimited JSON request/response protocol for the admission server.
+
+One request per line, one response per line, strictly in order over one
+connection:
+
+* request — ``{"id": <int>, "op": <str>, ...operands}``
+* success — ``{"id": <int>, "ok": true, ...results}``
+* failure — ``{"id": <int>, "ok": false, "error": <str>}``
+
+``id`` is a client-chosen correlation number echoed back verbatim.  The
+payload is ``sort_keys`` JSON so a captured wire exchange is
+deterministic for a deterministic workload.  Framing is a single ``\\n``;
+JSON strings never contain raw newlines, so no escaping is needed.
+
+Addresses are strings: ``host:port`` (last-colon split) selects TCP,
+anything else is a filesystem path to a Unix domain socket.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+#: Protocol schema tag, reported by the server's ``hello`` response.
+SERVE_SCHEMA = "repro.serve/1"
+
+#: Hard cap on one encoded message, as a guard against a corrupt or
+#: hostile peer streaming an unterminated line into memory.  Generous:
+#: the largest legitimate messages (snapshot paths, batched establishes,
+#: metrics snapshots) are a few hundred KiB.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """A malformed message or violated framing rule."""
+
+
+def encode_message(message: dict) -> bytes:
+    """One wire frame: deterministic JSON plus the newline terminator."""
+    return json.dumps(message, sort_keys=True).encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes) -> dict:
+    """Parse one frame; raises :class:`ProtocolError` on garbage."""
+    try:
+        message = json.loads(line)
+    except ValueError as error:
+        raise ProtocolError(f"undecodable message: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def parse_address(address: str) -> "tuple[str, int] | str":
+    """``host:port`` → a TCP pair; anything else → a Unix socket path."""
+    host, _, port = address.rpartition(":")
+    if host and port.isdigit():
+        return (host, int(port))
+    return address
+
+
+def create_listener(address: str, backlog: int = 8) -> socket.socket:
+    """Bind and listen on ``address`` (TCP pair or Unix socket path)."""
+    parsed = parse_address(address)
+    if isinstance(parsed, tuple):
+        sock = socket.create_server(parsed)
+    else:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.bind(parsed)
+    sock.listen(backlog)
+    return sock
+
+
+def connect(address: str, timeout: "float | None" = None) -> socket.socket:
+    """Connect to ``address``; raises ``OSError`` if nothing listens."""
+    parsed = parse_address(address)
+    if isinstance(parsed, tuple):
+        return socket.create_connection(parsed, timeout=timeout)
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    sock.connect(parsed)
+    return sock
+
+
+class MessageStream:
+    """Blocking message pump over one connected socket.
+
+    Both peers use the same pump: :meth:`send` writes one frame,
+    :meth:`recv` returns the next complete frame (``None`` on clean EOF).
+    Partial lines are buffered across reads, and several frames arriving
+    in one segment are handed out one at a time.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._buffer = bytearray()
+        self._eof = False
+
+    def send(self, message: dict) -> None:
+        self._sock.sendall(encode_message(message))
+
+    def recv(self) -> "dict | None":
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buffer[:newline])
+                del self._buffer[: newline + 1]
+                return decode_message(line)
+            if self._eof:
+                if self._buffer:
+                    raise ProtocolError("connection closed mid-message")
+                return None
+            if len(self._buffer) > MAX_MESSAGE_BYTES:
+                raise ProtocolError(
+                    f"unterminated message exceeds {MAX_MESSAGE_BYTES} bytes"
+                )
+            segment = self._sock.recv(1 << 16)
+            if not segment:
+                self._eof = True
+            else:
+                self._buffer.extend(segment)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass

@@ -1,0 +1,302 @@
+"""Versioned full-network snapshot codec (``repro.snapshot/1``).
+
+Extends :meth:`~repro.network.reservations.ReservationLedger.snapshot_spares`
+from a spare-pool copy into a complete, JSON-serialisable snapshot of a
+:class:`~repro.core.bcp.BCPNetwork`: reservation pools, live connections
+and their channels, the id counters, and the per-link multiplexing state.
+A restarted server restores from it and continues **byte-identically** —
+no re-admission, no re-routing, no drifted floats.
+
+Why the mux section stores floats verbatim
+------------------------------------------
+
+Both mux backends maintain per-entry ``requirement`` values and the
+per-link pool maximum *incrementally* (``+= bandwidth`` on add,
+``-= bandwidth`` on remove).  IEEE arithmetic makes those values a
+function of the full add/remove **history**, not of the resident entry
+set — ``(x + b) - b != x`` in general.  Recomputing requirements from
+the surviving entries after a restore would therefore produce subtly
+different floats, different admission decisions, and a diverged run.
+
+The codec instead records, per link, the resident entries **in
+insertion order** with their exact requirement floats plus the link's
+pool maximum.  Restore replays ``add`` per link in that order — the
+integer structure (Π conflict sets, arena rows, distinct-row slots) is
+order-deterministic and rebuilds identically — then transplants the
+recorded floats over the freshly computed ones via
+``set_requirements``.  The same reasoning covers the ledger: pools are
+written back verbatim through
+:meth:`~repro.network.reservations.ReservationLedger.restore_pools`,
+which also bumps the ledger version (and the restore path bumps the
+topology version) so route-cache floor tables, flat-view free mirrors,
+and spare snapshots can never serve pre-restore state.
+
+Snapshots are portable across mux backends: the kernel and reference
+engines agree bit-for-bit on requirements, so a snapshot taken with the
+vectorized kernel restores correctly into a ``--no-mux-kernel`` engine
+and vice versa.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.channels.channel import Channel, ChannelRole
+from repro.channels.qos import DelayQoS, FaultToleranceQoS
+from repro.channels.traffic import TrafficSpec
+from repro.core.bcp import BCPNetwork
+from repro.core.dconnection import ConnectionState, DConnection
+from repro.routing.paths import Path
+
+#: Snapshot schema tag; bump on incompatible layout changes.
+SNAPSHOT_SCHEMA = "repro.snapshot/1"
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+def _encode_channel(channel: Channel) -> dict:
+    return {
+        "id": channel.channel_id,
+        "serial": channel.serial,
+        "nodes": list(channel.path.nodes),
+        "mux_degree": channel.mux_degree,
+    }
+
+
+def _encode_connection(connection: DConnection) -> dict:
+    traffic = connection.traffic
+    delay = connection.delay_qos
+    ft = connection.ft_qos
+    return {
+        "id": connection.connection_id,
+        "source": connection.source,
+        "destination": connection.destination,
+        "traffic": {
+            "bandwidth": traffic.bandwidth,
+            "max_message_size": traffic.max_message_size,
+            "max_message_rate": traffic.max_message_rate,
+        },
+        "delay_qos": {
+            "slack_hops": delay.slack_hops,
+            "per_channel_baseline": delay.per_channel_baseline,
+        },
+        "ft_qos": {
+            "num_backups": ft.num_backups,
+            "mux_degree": ft.mux_degree,
+            "required_pr": ft.required_pr,
+            "max_backups": ft.max_backups,
+        },
+        "state": connection.state.name,
+        "achieved_pr": connection.achieved_pr,
+        "primary": _encode_channel(connection.primary),
+        "backups": [_encode_channel(backup) for backup in connection.backups],
+    }
+
+
+def snapshot_network(network: BCPNetwork) -> dict:
+    """The complete restorable state of ``network`` as a JSON-ready dict.
+
+    Deterministic: connections in establishment order, links in
+    ``topology.links()`` order, mux entries in per-link insertion order,
+    every float verbatim.  Two networks with identical histories produce
+    byte-identical snapshots — the serve smoke gate relies on that.
+    """
+    topology = network.topology
+    links = list(topology.links())
+    link_index = {link: position for position, link in enumerate(links)}
+    mux_rows = []
+    for link, state in network.mux.link_states().items():
+        entries = state.entries()
+        if not entries:
+            continue  # indistinguishable from an untouched link
+        mux_rows.append(
+            {
+                "link": link_index[link],
+                "entries": [
+                    [entry.channel_id, entry.requirement] for entry in entries
+                ],
+                "spare_required": state.spare_required(),
+            }
+        )
+    mux_rows.sort(key=lambda row: row["link"])
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "topology": {
+            "name": topology.name,
+            "links": [
+                [link.src, link.dst, topology.capacity(link)] for link in links
+            ],
+        },
+        "ledger": [list(pair) for pair in network.ledger.snapshot_pools()],
+        "connections": [
+            _encode_connection(connection)
+            for connection in network.connections()
+        ],
+        "counters": {
+            "next_channel_id": network.registry.next_id,
+            "next_connection_id": network.engine.next_connection_id,
+        },
+        "mux": mux_rows,
+    }
+
+
+# ----------------------------------------------------------------------
+# decoding
+# ----------------------------------------------------------------------
+def _decode_channel(
+    data: dict,
+    connection_id: int,
+    role: ChannelRole,
+    traffic: TrafficSpec,
+) -> Channel:
+    return Channel(
+        channel_id=data["id"],
+        connection_id=connection_id,
+        role=role,
+        serial=data["serial"],
+        path=Path(data["nodes"]),
+        traffic=traffic,
+        mux_degree=data["mux_degree"],
+    )
+
+
+def _decode_connection(data: dict) -> DConnection:
+    traffic = TrafficSpec(**data["traffic"])
+    connection_id = data["id"]
+    primary = _decode_channel(
+        data["primary"], connection_id, ChannelRole.PRIMARY, traffic
+    )
+    backups = [
+        _decode_channel(backup, connection_id, ChannelRole.BACKUP, traffic)
+        for backup in data["backups"]
+    ]
+    return DConnection(
+        connection_id=connection_id,
+        source=data["source"],
+        destination=data["destination"],
+        traffic=traffic,
+        delay_qos=DelayQoS(**data["delay_qos"]),
+        ft_qos=FaultToleranceQoS(**data["ft_qos"]),
+        primary=primary,
+        backups=backups,
+        state=ConnectionState[data["state"]],
+        achieved_pr=data["achieved_pr"],
+    )
+
+
+def _check_topology(network: BCPNetwork, snapshot: dict) -> list:
+    recorded = snapshot["topology"]["links"]
+    links = list(network.topology.links())
+    actual = [
+        [link.src, link.dst, network.topology.capacity(link)]
+        for link in links
+    ]
+    if actual != recorded:
+        raise ValueError(
+            f"snapshot topology mismatch: snapshot has {len(recorded)} "
+            f"links, network {network.topology.name!r} has {len(actual)} "
+            f"(and/or endpoints or capacities differ) — restore needs a "
+            f"topology built from the same spec"
+        )
+    return links
+
+
+def restore_network(network: BCPNetwork, snapshot: dict) -> None:
+    """Restore ``snapshot`` into a freshly built ``network`` in place.
+
+    ``network`` must carry the same topology the snapshot was taken over
+    (same links, same order, same capacities — build it from the same
+    :class:`~repro.scenario.spec.TopologySpec`) and must not have
+    admitted anything yet.  On return the network is observationally
+    identical to the snapshotted one: every admission decision, pool
+    size, audit result, and recovery evaluation from here on matches the
+    uninterrupted original bit for bit.
+    """
+    if snapshot.get("schema") != SNAPSHOT_SCHEMA:
+        raise ValueError(
+            f"not a {SNAPSHOT_SCHEMA} snapshot: "
+            f"schema={snapshot.get('schema')!r}"
+        )
+    links = _check_topology(network, snapshot)
+    if network.num_connections or next(network.registry.channels(), None):
+        raise ValueError(
+            "restore_network needs a fresh network; this one already "
+            f"holds {network.num_connections} connection(s)"
+        )
+
+    # 1. Connections and channels.  Channels register in channel-id
+    # order: registration originally happened in allocation order, and
+    # dicts preserve the survivors' relative order across deletions, so
+    # this reproduces the live registry's iteration order exactly.
+    connections = [
+        _decode_connection(data) for data in snapshot["connections"]
+    ]
+    channels: dict[int, Channel] = {}
+    for connection in connections:
+        network._connections[connection.connection_id] = connection
+        for channel in connection.channels:
+            channels[channel.channel_id] = channel
+    for channel in sorted(channels.values(), key=lambda c: c.channel_id):
+        network.registry.add(channel)
+    counters = snapshot["counters"]
+    network.registry.next_id = counters["next_channel_id"]
+    network.engine.next_connection_id = counters["next_connection_id"]
+
+    # 2. Reservation pools, verbatim (bumps the ledger version).
+    network.ledger.restore_pools(
+        (pair[0], pair[1]) for pair in snapshot["ledger"]
+    )
+
+    # 3. Multiplexing state: replay add per link in recorded insertion
+    # order (rebuilds the integer structure deterministically), then
+    # transplant the recorded floats (see module docstring).
+    mux = network.mux
+    described: dict[int, tuple] = {}
+    for row in snapshot["mux"]:
+        state = mux.link_state(links[row["link"]])
+        requirements: dict[int, float] = {}
+        for channel_id, requirement in row["entries"]:
+            backup = channels[channel_id]
+            if channel_id not in described:
+                mux.overlaps.register(channel_id)
+                primary = network._connections[backup.connection_id].primary
+                described[channel_id] = mux.describe_backup(backup, primary)
+            components, count, mask = described[channel_id]
+            state.add(
+                channel_id,
+                backup.bandwidth,
+                backup.mux_degree,
+                components,
+                count,
+                mask,
+            )
+            requirements[channel_id] = requirement
+        state.set_requirements(requirements, row["spare_required"])
+
+    # 4. Belt and braces: force every topology-keyed view (flat CSR
+    # arrays, route caches, the capacity cache) to recompile too.
+    network.topology.invalidate()
+
+
+# ----------------------------------------------------------------------
+# file helpers
+# ----------------------------------------------------------------------
+def write_snapshot(network: BCPNetwork, path: str) -> dict:
+    """Snapshot ``network`` to ``path`` (deterministic JSON); returns it."""
+    snapshot = snapshot_network(network)
+    with open(path, "w") as handle:
+        json.dump(snapshot, handle, sort_keys=True)
+        handle.write("\n")
+    return snapshot
+
+
+def load_snapshot(path: str) -> dict:
+    """Read a snapshot file; raises ``ValueError`` on a wrong schema."""
+    with open(path) as handle:
+        snapshot = json.load(handle)
+    if not isinstance(snapshot, dict) or (
+        snapshot.get("schema") != SNAPSHOT_SCHEMA
+    ):
+        raise ValueError(f"{path}: not a {SNAPSHOT_SCHEMA} snapshot file")
+    return snapshot

@@ -36,8 +36,7 @@ from dataclasses import dataclass, field
 
 from repro.channels.qos import DelayQoS, FaultToleranceQoS
 from repro.channels.traffic import TrafficSpec
-from repro.core.bcp import BCPNetwork, BatchRequest
-from repro.core.dconnection import DConnection
+from repro.core.bcp import BCPNetwork, BatchRequest, EstablishmentError
 from repro.faults.models import FailureScenario
 from repro.obs.registry import (
     MetricsRegistry,
@@ -50,9 +49,6 @@ from repro.recovery.metrics import RecoveryStats
 from repro.util.rng import spawn_rngs
 from repro.util.validation import check_non_negative, check_positive
 
-#: Spare mirrored into the ledger may differ from the mux requirement by
-#: float round-off only; anything larger is a consistency violation.
-_SPARE_EPSILON = 1e-6
 
 
 @dataclass(frozen=True)
@@ -136,8 +132,19 @@ class ChurnStats:
 
     @property
     def clean(self) -> bool:
-        """Whether every epoch-boundary invariant check passed."""
+        """Whether every epoch-boundary invariant check passed.
+
+        Invariants only — breached SLOs do not make a run unclean.  Gate
+        on :attr:`healthy` when SLO compliance matters too; gating on
+        ``clean`` alone silently waves breached SLOs through (the bug
+        this split fixed).
+        """
         return not self.audit_violations
+
+    @property
+    def healthy(self) -> bool:
+        """Whether the run was :attr:`clean` *and* met every SLO target."""
+        return self.clean and not self.slo_breaches
 
     def to_dict(self) -> dict:
         """Deterministic JSON-ready summary (sorted, seeded values only)."""
@@ -215,6 +222,12 @@ class ChurnEngine:
         #: Departure heap entries: (time, sequence, connection_id).
         self._departures: list[tuple[float, int, int]] = []
         self._departure_seq = 0
+        # Resumable-run loop state (see :meth:`run`): the pending arrival
+        # and epoch-boundary times live on the instance so a paused run
+        # continues exactly where it stopped.
+        self._started = False
+        self._next_arrival: "float | None" = None
+        self._next_epoch: "float | None" = None
 
     # ------------------------------------------------------------------
     # seeded draws
@@ -234,22 +247,34 @@ class ChurnEngine:
     # ------------------------------------------------------------------
     # the run loop
     # ------------------------------------------------------------------
-    def run(self) -> ChurnStats:
-        """Run the configured churn process; returns the final stats.
+    def run(self, until: "float | None" = None) -> ChurnStats:
+        """Run the churn process, optionally pausing at ``until``.
 
         Events are processed in simulated-time order with a fixed
         tie-break — epoch boundary, then departure, then arrival — so the
         trajectory is a pure function of the configuration.
+
+        With ``until`` the loop stops *before* the first event later
+        than it and returns the interim stats; a later ``run()`` call
+        continues from exactly that point.  Pausing draws no RNG values
+        and reorders no events, so a paused-and-resumed run is
+        byte-identical to an uninterrupted one — this is how the serve
+        snapshot/restore smoke drives a mid-run server restart.
         """
         config = self.config
         duration = config.duration
-        next_arrival = self._arrival_rng.expovariate(config.arrival_rate)
-        if next_arrival > duration:
-            next_arrival = None
-        next_epoch = min(config.epoch_interval, duration)
+        if not self._started:
+            self._started = True
+            first_arrival = self._arrival_rng.expovariate(config.arrival_rate)
+            self._next_arrival = (
+                first_arrival if first_arrival <= duration else None
+            )
+            self._next_epoch = min(config.epoch_interval, duration)
+        horizon = duration if until is None else min(until, duration)
         while True:
-            arrival_at = next_arrival if next_arrival is not None else None
+            arrival_at = self._next_arrival
             depart_at = self._departures[0][0] if self._departures else None
+            next_epoch = self._next_epoch
             candidates = [
                 value
                 for value in (arrival_at, depart_at, next_epoch)
@@ -258,22 +283,26 @@ class ChurnEngine:
             if not candidates:
                 break
             now = min(candidates)
+            if now > horizon:
+                # Paused between events; resume with another run() call.
+                return self.stats
             if next_epoch is not None and next_epoch <= now:
                 self._run_epoch(next_epoch)
                 boundary = next_epoch + config.epoch_interval
                 if next_epoch >= duration:
-                    next_epoch = None
+                    self._next_epoch = None
                 else:
-                    next_epoch = min(boundary, duration)
+                    self._next_epoch = min(boundary, duration)
                 continue
             if depart_at is not None and depart_at <= now:
                 self._process_departure()
                 continue
-            next_arrival = self._process_arrivals(
-                next_arrival, depart_at, next_epoch
+            self._next_arrival = self._process_arrivals(
+                arrival_at, depart_at, next_epoch
             )
-        if next_epoch is not None:  # pragma: no cover - loop closes epochs
-            self._run_epoch(next_epoch)
+        if self._next_epoch is not None:  # pragma: no cover - loop closes epochs
+            self._run_epoch(self._next_epoch)
+            self._next_epoch = None
         self.stats.final_connections = self.network.num_connections
         return self.stats
 
@@ -328,13 +357,12 @@ class ChurnEngine:
         self._c_batches.inc()
         self._h_batch.record(float(len(batch)))
         for (arrived_at, _, holding), result in zip(batch, results):
-            if isinstance(result, DConnection):
+            if not isinstance(result, EstablishmentError):
                 self.stats.established += 1
                 self._c_established.inc()
-                hops = sum(
-                    channel.path.hops for channel in result.channels
+                self._h_latency.record(
+                    config.per_hop_latency * result.total_hops
                 )
-                self._h_latency.record(config.per_hop_latency * hops)
                 self._departure_seq += 1
                 heapq.heappush(
                     self._departures,
@@ -383,18 +411,13 @@ class ChurnEngine:
             self._evaluate_epoch()
 
     def _check_invariants(self) -> list[str]:
-        """Ledger audit plus the mux-vs-ledger spare consistency check."""
-        network = self.network
-        violations = [str(finding) for finding in network.ledger.audit()]
-        for link in network.topology.links():
-            required = network.mux.spare_required(link)
-            mirrored = network.ledger.spare_reserved(link)
-            if abs(required - mirrored) > _SPARE_EPSILON:
-                violations.append(
-                    f"link {link}: mux requires {required!r} spare but "
-                    f"ledger mirrors {mirrored!r}"
-                )
-        return violations
+        """Ledger audit plus the mux-vs-ledger spare consistency check.
+
+        Delegated to :meth:`~repro.core.bcp.BCPNetwork.audit_invariants`
+        so a remote network adapter (:mod:`repro.serve`) runs the same
+        audit server-side in one round trip per epoch.
+        """
+        return self.network.audit_invariants()
 
     def _evaluate_epoch(self) -> None:
         """Evaluate a seeded single-link failure sample against the live
@@ -404,25 +427,34 @@ class ChurnEngine:
         — which are deterministic — are folded into the engine's registry.
         Its wall-clock scenario timer never reaches the session snapshot,
         keeping ``--metrics-out`` byte-identical across worker counts.
+
+        A network exposing ``evaluate_failures`` (the remote adapter)
+        runs the sweep on its side — the link sample and epoch seed are
+        still drawn here, from the same RNG stream, so a remote run's
+        recovery stats match a local run's bit for bit.
         """
         count = min(self.config.eval_scenarios, len(self._eval_links))
         links = self._eval_rng.sample(self._eval_links, count)
-        scenarios = [FailureScenario.of_links([link]) for link in links]
         epoch_seed = self._eval_rng.getrandbits(64)
-        private = MetricsRegistry()
-        stats = evaluate_scenarios(
-            self.network,
-            scenarios,
-            workers=self.config.workers,
-            seed=epoch_seed,
-            metrics=private,
-        )
+        remote = getattr(self.network, "evaluate_failures", None)
+        if remote is not None:
+            stats, counters = remote(links, epoch_seed, self.config.workers)
+        else:
+            scenarios = [FailureScenario.of_links([link]) for link in links]
+            private = MetricsRegistry()
+            stats = evaluate_scenarios(
+                self.network,
+                scenarios,
+                workers=self.config.workers,
+                seed=epoch_seed,
+                metrics=private,
+            )
+            counters = private.snapshot()["counters"]
         self.stats.recovery = self.stats.recovery.merge(stats)
-        snapshot = private.snapshot()
         self.registry.absorb(
             {
                 "schema": SNAPSHOT_SCHEMA,
-                "counters": snapshot["counters"],
+                "counters": counters,
                 "gauges": {},
                 "histograms": {},
                 "series": {},

@@ -1,0 +1,265 @@
+"""Tests for the always-on admission service (repro.serve).
+
+The server is exercised in-process over ``socket.socketpair()`` — the
+full wire protocol, no listener, no ports — with the serve loop in a
+daemon thread.  The headline property: a churn run driven through
+:class:`RemoteNetwork` produces byte-identical stats to the same run
+against a local :class:`BCPNetwork`, because every seeded draw happens
+client-side and admission is a deterministic function of the request
+stream.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.channels.qos import DelayQoS, FaultToleranceQoS
+from repro.channels.traffic import TrafficSpec
+from repro.core.bcp import BCPNetwork, BatchRequest, EstablishmentError
+from repro.obs.registry import MetricsRegistry
+from repro.scenario import (
+    ProtocolSpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    churn_config_from_spec,
+)
+from repro.serve import (
+    AdmissionServer,
+    MessageStream,
+    ProtocolError,
+    RemoteNetwork,
+    ServeClient,
+    ServeError,
+)
+from repro.serve.protocol import (
+    decode_message,
+    encode_message,
+    parse_address,
+)
+from repro.workload import ChurnEngine
+
+
+def smoke_spec(duration: float = 10.0) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="serve/test",
+        topology=TopologySpec(family="torus", rows=4, cols=4, capacity=160.0),
+        workload=WorkloadSpec(
+            kind="churn", arrival_rate=6.0, holding_time=4.0,
+            duration=duration, bandwidth=4.0, batch_window=0.5,
+            epoch_interval=5.0, eval_scenarios=2, pairs=16,
+        ),
+        protocol=ProtocolSpec(num_backups=1, mux_degree=2),
+        seed=3,
+    )
+
+
+class PairClient(ServeClient):
+    """A ServeClient speaking over one end of a socketpair."""
+
+    def __init__(self, sock) -> None:
+        super().__init__("socketpair")
+        self._sock = sock
+
+    def connect(self, retry_window: float = 0.0) -> dict:
+        # Unlike the real client there is nothing to re-dial: keep the
+        # one stream alive across re-handshakes.
+        if self._stream is None:
+            self._stream = MessageStream(self._sock)
+        return self.call("hello")
+
+
+@pytest.fixture
+def served():
+    """(client, server): an AdmissionServer serving one socketpair peer
+    in a daemon thread, with a handshaken PairClient attached."""
+    server_sock, client_sock = socket.socketpair()
+    server = AdmissionServer(smoke_spec(), workers=1,
+                             metrics=MetricsRegistry())
+    server._running = True
+    thread = threading.Thread(
+        target=server.serve_connection, args=(server_sock,), daemon=True
+    )
+    thread.start()
+    client = PairClient(client_sock)
+    client.connect()
+    yield client, server
+    # Close the client first: its EOF unblocks the serve loop, so the
+    # thread is gone before the server-side fd goes away under it.
+    client.close()
+    thread.join(timeout=5.0)
+    server_sock.close()
+
+
+class TestProtocol:
+    def test_message_round_trip(self):
+        message = {"id": 3, "op": "establish", "requests": []}
+        assert decode_message(encode_message(message)) == message
+
+    def test_encoding_is_deterministic(self):
+        a = encode_message({"b": 1, "a": 2})
+        b = encode_message({"a": 2, "b": 1})
+        assert a == b
+        assert a.endswith(b"\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"[1, 2]\n")
+        with pytest.raises(ProtocolError):
+            decode_message(b"not json\n")
+
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:9000") == ("127.0.0.1", 9000)
+        assert parse_address("/tmp/serve.sock") == "/tmp/serve.sock"
+        # No digit port after the last colon: a unix path, not TCP.
+        assert parse_address("./odd:name") == "./odd:name"
+
+    def test_stream_clean_eof_returns_none(self):
+        a, b = socket.socketpair()
+        stream = MessageStream(a)
+        b.close()
+        assert stream.recv() is None
+        stream.close()
+
+    def test_stream_mid_message_eof_raises(self):
+        a, b = socket.socketpair()
+        stream = MessageStream(a)
+        b.sendall(b'{"id": 1')  # no terminating newline
+        b.close()
+        with pytest.raises(ProtocolError):
+            stream.recv()
+        stream.close()
+
+
+class TestAdmissionServer:
+    def test_hello_carries_spec_and_schema(self, served):
+        client, server = served
+        hello = client.call("hello")
+        assert hello["schema"] == "repro.serve/1"
+        assert ScenarioSpec.from_dict(hello["spec"]) == server.spec
+
+    def test_unknown_op_is_an_error_response(self, served):
+        client, _ = served
+        with pytest.raises(ServeError, match="unknown op"):
+            client.call("frobnicate")
+
+    def test_handler_exception_is_an_error_response(self, served):
+        client, _ = served
+        # The connection survives the failed op.
+        with pytest.raises(ServeError, match="unknown connection id"):
+            client.call("teardown", connection_id=999)
+        assert client.call("ping")["ok"] is True
+
+    def test_establish_teardown_round_trip(self, served):
+        client, _ = served
+        network = RemoteNetwork(client)
+        request = BatchRequest(
+            src=0, dst=5,
+            traffic=TrafficSpec(bandwidth=4.0),
+            delay_qos=DelayQoS(),
+            ft_qos=FaultToleranceQoS(num_backups=1, mux_degree=2),
+        )
+        [result] = network.establish_batch([request])
+        assert not isinstance(result, EstablishmentError)
+        assert result.total_hops > 0
+        assert network.num_connections == 1
+        network.teardown(result.connection_id)
+        assert network.num_connections == 0
+        assert network.audit_invariants() == []
+
+    def test_snapshot_op_writes_restorable_file(self, served, tmp_path):
+        client, server = served
+        path = str(tmp_path / "snap.json")
+        response = client.call("snapshot", path=path)
+        assert response["path"] == path
+        with open(path) as handle:
+            assert json.load(handle)["schema"] == "repro.snapshot/1"
+
+    def test_metrics_op_exports_serve_histograms(self, served):
+        client, _ = served
+        snapshot = client.call("metrics")["snapshot"]
+        assert "serve.admission_latency" in snapshot["histograms"]
+        assert "serve.recovery_delay" in snapshot["histograms"]
+        assert snapshot["counters"]["serve.requests"] > 0
+
+    def test_shutdown_stops_the_serve_loop(self, served):
+        client, server = served
+        client.call("shutdown")
+        assert server._running is False
+
+
+class TestRemoteChurn:
+    def test_remote_churn_matches_local_byte_for_byte(self, served):
+        client, server = served
+        spec = smoke_spec()
+        config = churn_config_from_spec(spec)
+
+        local_network = BCPNetwork(spec.topology.build())
+        local = ChurnEngine(
+            local_network, config, metrics=MetricsRegistry()
+        ).run()
+
+        remote_network = RemoteNetwork(client)
+        remote = ChurnEngine(
+            remote_network, config, metrics=MetricsRegistry()
+        ).run()
+
+        assert remote.to_dict() == local.to_dict()
+        # Admission latency was observed server-side for every arrival.
+        histograms = server.registry.snapshot()["histograms"]
+        assert (histograms["serve.admission_latency"]["count"]
+                == remote.established)
+        assert histograms["serve.recovery_delay"]["count"] == remote.epochs
+
+
+class TestServeClientGuards:
+    def test_call_before_connect_raises(self):
+        client = ServeClient("127.0.0.1:1")
+        with pytest.raises(ServeError, match="not connected"):
+            client.call("ping")
+
+    def test_correlation_mismatch_raises(self):
+        a, b = socket.socketpair()
+        client = PairClient(a)
+        client._stream = MessageStream(a)
+        responder = MessageStream(b)
+
+        def answer_wrong_id():
+            request = responder.recv()
+            responder.send({"id": (request["id"] or 0) + 7, "ok": True})
+
+        thread = threading.Thread(target=answer_wrong_id, daemon=True)
+        thread.start()
+        with pytest.raises(ServeError, match="correlation mismatch"):
+            client.call("ping")
+        thread.join(timeout=5.0)
+        client.close()
+        responder.close()
+
+
+class TestServeCLI:
+    def test_parser_accepts_serve_actions(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "start", "--spec", "spec.json", "--bind", "s.sock"]
+        )
+        assert args.command == "serve"
+        assert args.action == "start"
+        args = parser.parse_args(
+            ["serve", "churn", "--connect", "s.sock", "--until", "5",
+             "--slo", "serve.admission_latency.p99 <= 1"]
+        )
+        assert args.until == 5.0
+        assert args.slo == ["serve.admission_latency.p99 <= 1"]
+
+    def test_parser_rejects_unknown_action(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "resync"])

@@ -1,0 +1,241 @@
+"""Tests for the repro.snapshot/1 codec (repro.serve.state).
+
+The load-bearing property is *byte identity*: a churn run killed
+mid-stream, snapshotted, restored into a fresh network, and resumed must
+produce exactly the stats and final network state of the uninterrupted
+run — at every worker count and across mux backends.  The codec earns
+that by recording mux requirement floats verbatim (they are a function
+of the add/remove history, not the resident entry set) and by bumping
+the ledger and topology versions on restore so no version-keyed cache
+can serve pre-restore state.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.bcp import BCPNetwork
+from repro.network import LinkId, Topology, torus
+from repro.network.reservations import InsufficientCapacityError, ReservationLedger
+from repro.obs.registry import MetricsRegistry
+from repro.routing.flatgraph import RouteCache, flat_view
+from repro.serve import (
+    SNAPSHOT_SCHEMA,
+    load_snapshot,
+    restore_network,
+    snapshot_network,
+    write_snapshot,
+)
+from repro.workload import ChurnConfig, ChurnEngine
+
+
+def churn_config(workers: int = 1) -> ChurnConfig:
+    return ChurnConfig(
+        arrival_rate=6.0, holding_time=4.0, duration=20.0,
+        epoch_interval=5.0, eval_scenarios=2, pairs=16,
+        num_backups=1, mux_degree=2, seed=3, workers=workers,
+    )
+
+
+def fresh_network(mux_kernel: "bool | None" = None) -> BCPNetwork:
+    if mux_kernel is None:
+        return BCPNetwork(torus(4, 4, capacity=160.0))
+    return BCPNetwork(torus(4, 4, capacity=160.0), mux_kernel=mux_kernel)
+
+
+def dumps(snapshot: dict) -> str:
+    return json.dumps(snapshot, sort_keys=True)
+
+
+class TestSnapshotRoundTrip:
+    def test_restored_network_snapshots_identically(self):
+        network = fresh_network()
+        engine = ChurnEngine(network, churn_config(), metrics=MetricsRegistry())
+        engine.run(until=10.0)
+        snapshot = snapshot_network(network)
+        restored = fresh_network()
+        restore_network(restored, snapshot)
+        assert dumps(snapshot_network(restored)) == dumps(snapshot)
+        assert restored.audit_invariants() == []
+        assert restored.num_connections == network.num_connections
+
+    def test_snapshot_survives_json_round_trip(self, tmp_path):
+        network = fresh_network()
+        engine = ChurnEngine(network, churn_config(), metrics=MetricsRegistry())
+        engine.run(until=10.0)
+        path = str(tmp_path / "snap.json")
+        written = write_snapshot(network, path)
+        loaded = load_snapshot(path)
+        assert loaded == written
+        restored = fresh_network()
+        restore_network(restored, loaded)
+        assert dumps(snapshot_network(restored)) == dumps(written)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_killed_and_resumed_run_is_byte_identical(self, workers):
+        """Satellite: kill churn mid-stream, restore, resume — the
+        resumed run's stats, ledger audit, and spare pools must match the
+        uninterrupted run bit for bit at every worker count."""
+        config = churn_config(workers=workers)
+        baseline = fresh_network()
+        uninterrupted = ChurnEngine(
+            baseline, config, metrics=MetricsRegistry()
+        ).run()
+
+        network = fresh_network()
+        engine = ChurnEngine(network, config, metrics=MetricsRegistry())
+        engine.run(until=10.0)
+        snapshot = snapshot_network(network)
+        restored = fresh_network()
+        restore_network(restored, snapshot)
+        # The client-side loop state (RNG streams, departures heap)
+        # lives in the engine; only the network was killed and restored.
+        engine.network = restored
+        resumed = engine.run()
+
+        assert resumed.to_dict() == uninterrupted.to_dict()
+        assert restored.audit_invariants() == []
+        assert dumps(snapshot_network(restored)) == dumps(
+            snapshot_network(baseline)
+        )
+
+    @pytest.mark.parametrize("snapshot_kernel, restore_kernel",
+                             [(True, False), (False, True)])
+    def test_snapshots_are_portable_across_mux_backends(
+        self, snapshot_kernel, restore_kernel
+    ):
+        config = churn_config()
+        network = fresh_network(mux_kernel=snapshot_kernel)
+        ChurnEngine(network, config, metrics=MetricsRegistry()).run(until=10.0)
+        snapshot = snapshot_network(network)
+        restored = fresh_network(mux_kernel=restore_kernel)
+        restore_network(restored, snapshot)
+        assert dumps(snapshot_network(restored)) == dumps(snapshot)
+        assert restored.audit_invariants() == []
+
+
+class TestRestoreGuards:
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="not a repro.snapshot/1"):
+            restore_network(fresh_network(), {"schema": "repro.metrics/1"})
+
+    def test_rejects_non_fresh_network(self):
+        network = fresh_network()
+        ChurnEngine(
+            network, churn_config(), metrics=MetricsRegistry()
+        ).run(until=2.0)
+        snapshot = snapshot_network(network)
+        with pytest.raises(ValueError, match="fresh network"):
+            restore_network(network, snapshot)
+
+    def test_rejects_topology_mismatch(self):
+        network = fresh_network()
+        snapshot = snapshot_network(network)
+        other = BCPNetwork(torus(3, 3, capacity=160.0))
+        with pytest.raises(ValueError, match="topology mismatch"):
+            restore_network(other, snapshot)
+
+    def test_load_snapshot_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "other/1"}\n')
+        with pytest.raises(ValueError, match="not a repro.snapshot/1"):
+            load_snapshot(str(path))
+
+    def test_counter_setters_refuse_to_move_backward(self):
+        network = fresh_network()
+        ChurnEngine(
+            network, churn_config(), metrics=MetricsRegistry()
+        ).run(until=2.0)
+        with pytest.raises(ValueError):
+            network.registry.next_id = 0
+        with pytest.raises(ValueError):
+            network.engine.next_connection_id = 0
+
+    def test_schema_tag_is_versioned(self):
+        assert snapshot_network(fresh_network())["schema"] == SNAPSHOT_SCHEMA
+
+
+class TestStaleCacheRegression:
+    """Satellite: a restore must bump the ledger and topology versions so
+    route-cache floor tables, flat free mirrors, and spare snapshots
+    never serve pre-restore state."""
+
+    def line_ledger(self) -> "tuple[Topology, ReservationLedger]":
+        # Duplex links are two directed entries each: the pool list below
+        # is positional over links() order (0→1, 1→0, 1→2, 2→1).
+        topology = Topology(name="line")
+        for node in range(3):
+            topology.add_node(node)
+        topology.add_duplex_link(0, 1, capacity=10.0)
+        topology.add_duplex_link(1, 2, capacity=10.0)
+        return topology, ReservationLedger(topology)
+
+    def test_restore_pools_bumps_version_and_refreshes_caches(self):
+        _, ledger = self.line_ledger()
+        ledger.reserve_primary(LinkId(0, 1), 4.0)
+        before = ledger.snapshot_spares()
+        assert before == ledger.snapshot_spares()  # warm the cache
+        version = ledger.version
+        ledger.restore_pools(
+            [(2.0, 1.0), (0.0, 0.0), (3.0, 0.5), (0.0, 0.0)]
+        )
+        assert ledger.version == version + 1
+        assert ledger.primary_reserved(LinkId(0, 1)) == 2.0
+        assert ledger.spare_reserved(LinkId(1, 2)) == 0.5
+        assert ledger.snapshot_spares()[LinkId(0, 1)] == 1.0
+
+    def test_route_cache_floor_table_cannot_outlive_a_restore(self):
+        _, ledger = self.line_ledger()
+        cache = RouteCache()
+        table = cache.floor_table(ledger)
+        table[("stale", "entry")] = object()
+        # Same version, same ledger: the warm table is served as-is.
+        assert cache.floor_table(ledger) is table
+        assert ("stale", "entry") in cache.floor_table(ledger)
+        ledger.restore_pools([(2.0, 0.0)] + [(0.0, 0.0)] * 3)
+        # The version bump invalidates the floor table wholesale.
+        assert ("stale", "entry") not in cache.floor_table(ledger)
+
+    def test_restore_pools_validates_then_applies(self):
+        _, ledger = self.line_ledger()
+        ledger.reserve_primary(LinkId(0, 1), 4.0)
+        version = ledger.version
+        with pytest.raises(InsufficientCapacityError):
+            ledger.restore_pools(
+                [(2.0, 1.0), (0.0, 0.0), (11.0, 0.0), (0.0, 0.0)]
+            )
+        # Nothing applied, version untouched.
+        assert ledger.primary_reserved(LinkId(0, 1)) == 4.0
+        assert ledger.version == version
+        with pytest.raises(ValueError, match="has 1 links"):
+            ledger.restore_pools([(1.0, 0.0)])
+
+    def test_topology_invalidate_bumps_version_and_drops_flat(self):
+        topology = torus(3, 3)
+        flat = flat_view(topology)
+        assert flat_view(topology) is flat  # settled: compiled once
+        version = topology.version
+        assert topology.invalidate() == version + 1
+        assert topology.version == version + 1
+        assert flat_view(topology) is not flat
+
+    def test_restore_leaves_no_warm_view_behind(self):
+        network = fresh_network()
+        ChurnEngine(
+            network, churn_config(), metrics=MetricsRegistry()
+        ).run(until=10.0)
+        snapshot = snapshot_network(network)
+        restored = fresh_network()
+        # Warm the target's caches pre-restore, as a long-lived server
+        # process would have.
+        flat_view(restored.topology)
+        restored.ledger.snapshot_spares()
+        ledger_version = restored.ledger.version
+        topology_version = restored.topology.version
+        restore_network(restored, snapshot)
+        assert restored.ledger.version > ledger_version
+        assert restored.topology.version > topology_version
+        # Post-restore reads reflect the snapshot, not the warm state.
+        assert dumps(snapshot_network(restored)) == dumps(snapshot)

@@ -67,6 +67,34 @@ class TestChurnRun:
         assert snapshot["series"]["churn.blocking"]["count"] == stats.epochs
         assert snapshot["series"]["churn.connections"]["count"] == stats.epochs
 
+    def test_clean_and_healthy_are_distinct_gates(self):
+        # ``clean`` is invariants only; ``healthy`` also requires every
+        # SLO target met.  A breached SLO must not look "clean but
+        # failing" to one caller and "fine" to another.
+        stats = ChurnStats()
+        assert stats.clean and stats.healthy
+        stats.slo_breaches.append("epoch 2: churn.blocking.last <= 0")
+        assert stats.clean
+        assert not stats.healthy
+        stats = ChurnStats()
+        stats.audit_violations.append("link (0, 1): over-reserved")
+        assert not stats.clean
+        assert not stats.healthy
+
+    def test_paused_run_resumes_to_the_same_outcome(self):
+        # run(until=...) pauses without drawing RNG or reordering
+        # events: pause + resume must equal one uninterrupted run.
+        config = ChurnConfig(
+            arrival_rate=20.0, holding_time=2.0, duration=10.0,
+            epoch_interval=2.0, seed=3, pairs=8,
+        )
+        baseline, _ = run_once(config)
+        engine = ChurnEngine(make_network(), config, metrics=MetricsRegistry())
+        partial = engine.run(until=4.0)
+        assert partial.arrivals < baseline.arrivals
+        resumed = engine.run()
+        assert resumed.to_dict() == baseline.to_dict()
+
     def test_batching_groups_arrivals(self):
         # A small pair pool and a wide batch window force same-pair
         # requests through a shared routing pass.
